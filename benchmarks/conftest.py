@@ -1,0 +1,24 @@
+"""Benchmark harness helpers.
+
+Every paper table/figure has one benchmark here.  Runs measure the full
+experiment once (``rounds=1`` — these are simulations, not
+microbenchmarks; their interesting output is the experiment result, not
+the wall time) and attach the headline numbers to
+``benchmark.extra_info`` so ``--benchmark-json`` captures the
+reproduction data alongside timings.  Run with ``-s`` to see each
+experiment rendered in the paper's shape.
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Benchmark ``fn`` with a single measured round, returning its
+    result."""
+    result_holder = {}
+
+    def wrapper():
+        result_holder["result"] = fn(*args, **kwargs)
+
+    benchmark.pedantic(wrapper, rounds=1, iterations=1)
+    return result_holder["result"]

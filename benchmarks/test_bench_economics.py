@@ -1,0 +1,18 @@
+"""Section 5.2 benchmark: economic feasibility from measured cache
+behaviour."""
+
+from benchmarks.conftest import run_once
+from repro.analysis.economics import EconomicModel
+from repro.experiments.economics import run_economics
+
+
+def test_economics_payback(benchmark):
+    report = run_once(benchmark, run_economics, n_users=400,
+                      n_requests=40_000, seed=1997)
+    print("\n" + report)
+    model = EconomicModel()
+    benchmark.extra_info["payback_months_at_50pct"] = round(
+        model.payback_months(), 2)
+    assert "payback period" in report
+    # at the paper's assumed 50% byte hit rate: ~2 months
+    assert 1.0 < model.payback_months() < 3.0

@@ -1,0 +1,23 @@
+"""Section 1.1 headline benchmark: end-to-end latency reduction through
+the modem bank, with vs without distillation."""
+
+from benchmarks.conftest import run_once
+from repro.experiments.endtoend_latency import run_endtoend
+
+
+def test_endtoend_latency_reduction(benchmark):
+    result = run_once(benchmark, run_endtoend, n_requests=400,
+                      seed=1997)
+    print("\n" + result.render())
+    benchmark.extra_info["mean_reduction"] = round(
+        result.mean_reduction, 2)
+    benchmark.extra_info["paper_reduction"] = "3-5x"
+    # squarely in the paper's 3-5x band (codec calibrated to Figure 3's
+    # 6.7x single-image reduction; the mix dilutes it to overall 3-5x)
+    assert 2.5 < result.mean_reduction < 6.0
+    assert result.distilled_mean_s < result.original_mean_s
+    # the modem bank itself carries far fewer bytes (the full mix
+    # includes HTML and small content that cannot shrink, so the byte
+    # win is smaller than the image-only reduction factor)
+    assert result.bytes_over_modems_distilled < \
+        result.bytes_over_modems_original / 2

@@ -1,0 +1,18 @@
+"""Section 3.1.3 benchmark: the full process-peer fault timeline."""
+
+from benchmarks.conftest import run_once
+from repro.experiments.fault_timeline import run_fault_timeline
+
+
+def test_fault_timeline_availability(benchmark):
+    result = run_once(benchmark, run_fault_timeline, rate_rps=20.0,
+                      seed=1997)
+    print("\n" + result.render())
+    benchmark.extra_info["success_rate"] = round(result.success_rate, 4)
+    benchmark.extra_info["manager_restarts"] = result.manager_restarts
+    assert result.success_rate > 0.9
+    assert result.manager_restarts == 1
+    labels = " | ".join(label for _, label in result.timeline)
+    assert "killed distiller" in labels
+    assert "killed manager" in labels
+    assert "killed front end" in labels

@@ -1,0 +1,20 @@
+"""Figure 5 benchmark: content-size distributions over 100k requests."""
+
+from benchmarks.conftest import run_once
+from repro.experiments.figure5_sizes import PAPER_MEANS, run_figure5
+from repro.tacc.content import MIME_GIF, MIME_HTML, MIME_JPEG
+
+
+def test_figure5_content_size_distributions(benchmark):
+    result = run_once(benchmark, run_figure5, n_records=100_000,
+                      seed=1997)
+    print("\n" + result.render())
+    for mime in (MIME_HTML, MIME_GIF, MIME_JPEG):
+        benchmark.extra_info[f"mean_{mime}"] = round(result.means[mime])
+        benchmark.extra_info[f"paper_mean_{mime}"] = PAPER_MEANS[mime]
+        assert abs(result.means[mime] - PAPER_MEANS[mime]) \
+            < 0.2 * PAPER_MEANS[mime]
+    benchmark.extra_info["gif_below_1kb"] = round(
+        result.gif_fraction_below_1kb, 3)
+    assert 0.35 < result.gif_fraction_below_1kb < 0.65
+    assert result.jpeg_fraction_below_1kb < 0.02

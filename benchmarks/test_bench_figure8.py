@@ -1,0 +1,26 @@
+"""Figure 8 benchmark: the full self-tuning + fault-injection run."""
+
+from benchmarks.conftest import run_once
+from repro.experiments.figure8_selftuning import run_figure8
+
+
+def test_figure8_self_tuning_and_kills(benchmark):
+    result = run_once(benchmark, run_figure8, duration_s=400.0,
+                      kill_at_s=270.0, kill_count=2, seed=1997,
+                      peak_rate_rps=60.0)
+    print("\n" + result.render())
+    benchmark.extra_info["spawns"] = len(result.spawn_times)
+    benchmark.extra_info["recovery_s"] = result.post_kill_recovery_s
+    # load growth spawned several distillers before the kills
+    pre_kill_spawns = [t for t in result.spawn_times
+                       if t < result.kill_time]
+    assert len(pre_kill_spawns) >= 3
+    # kills happened, replacements followed
+    post_kill_starts = [t for t, label in result.events
+                        if "started" in label and t > result.kill_time]
+    assert post_kill_starts
+    # the system restabilized
+    assert result.post_kill_recovery_s is not None
+    assert result.post_kill_recovery_s < 90.0
+    total = result.completed_requests + result.failed_requests
+    assert result.completed_requests > 0.9 * total

@@ -1,0 +1,25 @@
+"""Section 4.4 benchmark: front-end state under miss-dominated load."""
+
+from benchmarks.conftest import run_once
+from repro.experiments.frontend_state import run_frontend_state
+
+
+def test_frontend_state_at_15_rps(benchmark):
+    result = run_once(benchmark, run_frontend_state, rate_rps=15.0,
+                      duration_s=300.0, seed=1997)
+    print("\n" + result.render())
+    cold = result.cold
+    hot = result.hot
+    benchmark.extra_info["cold_mean_outstanding"] = round(
+        cold.mean_outstanding)
+    benchmark.extra_info["cold_peak_tcp"] = cold.peak_tcp_connections
+    benchmark.extra_info["paper_outstanding"] = "150-350"
+    # the paper's observed range: 150-350 outstanding, up to 700 TCP
+    # connections at 15 req/s
+    assert 100 < cold.mean_outstanding < 400
+    assert cold.peak_tcp_connections < 800
+    # Little's law: outstanding ~= N * T
+    assert abs(cold.mean_outstanding - cold.littles_law_prediction) \
+        < 0.35 * cold.littles_law_prediction
+    # caching collapses front-end state by an order of magnitude
+    assert hot.mean_outstanding < cold.mean_outstanding / 5

@@ -1,0 +1,24 @@
+"""HotBot throughput benchmark: the 'several million queries per day'
+operational claim, with the recent-searches cache engaged."""
+
+from benchmarks.conftest import run_once
+from repro.experiments.hotbot_throughput import run_hotbot_throughput
+
+
+def test_hotbot_millions_of_queries_per_day(benchmark):
+    result = run_once(benchmark, run_hotbot_throughput,
+                      offered_qps=50.0, duration_s=60.0, seed=1997)
+    print("\n" + result.render())
+    benchmark.extra_info["queries_per_day_M"] = round(
+        result.queries_per_day_equivalent / 1e6, 2)
+    benchmark.extra_info["cache_hit_fraction"] = round(
+        result.cache_hit_fraction, 3)
+    # "several million queries per day"
+    assert result.queries_per_day_equivalent > 2_000_000
+    # served keeps up with offered (no collapse)
+    assert result.served_qps > 0.9 * result.offered_qps
+    # interactive latencies
+    assert result.p95_s < 0.25
+    # the recent-searches cache is doing real work on a Zipf query mix
+    assert result.cache_hit_fraction > 0.3
+    assert result.incremental_pages > 50

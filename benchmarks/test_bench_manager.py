@@ -1,0 +1,19 @@
+"""Section 4.6 manager-capacity benchmark: 900 distillers, 1800
+announcements/second."""
+
+from benchmarks.conftest import run_once
+from repro.experiments.manager_capacity import run_manager_capacity
+
+
+def test_manager_absorbs_1800_announcements_per_second(benchmark):
+    result = run_once(benchmark, run_manager_capacity,
+                      n_distillers=900, duration_s=20.0, seed=1997)
+    print("\n" + result.render())
+    benchmark.extra_info["announcements_per_s"] = round(
+        result.announcements_per_s)
+    benchmark.extra_info["paper_announcements_per_s"] = 1800
+    assert result.announcements_per_s > 1600
+    assert result.delivery_rate > 0.9
+    # beacons stayed on schedule: the manager was not overwhelmed
+    assert abs(result.beacon_interval_observed_s - 0.5) < 0.1
+    assert result.equivalent_request_rps == 18_000.0

@@ -1,0 +1,29 @@
+"""Section 4.6 SAN-saturation benchmark: 100 Mb/s vs 10 Mb/s."""
+
+from benchmarks.conftest import run_once
+from repro.experiments.san_saturation import run_san_saturation
+
+
+def test_san_saturation_cripples_load_balancing(benchmark):
+    result = run_once(benchmark, run_san_saturation, rate_rps=80.0,
+                      duration_s=60.0, seed=1997)
+    print("\n" + result.render())
+    benchmark.extra_info["fast_beacon_loss"] = round(
+        result.fast.beacon_loss_rate, 3)
+    benchmark.extra_info["slow_beacon_loss"] = round(
+        result.slow.beacon_loss_rate, 3)
+    # 100 Mb/s: healthy
+    assert result.fast.beacon_loss_rate < 0.02
+    assert result.fast.failed == 0
+    # 10 Mb/s: "most of our (unreliable) multicast traffic was being
+    # dropped"
+    assert result.slow.beacon_loss_rate > 0.5
+    assert result.slow.p95_latency_s > result.fast.p95_latency_s
+    # the paper's proposed remedy, implemented: same saturated SAN, but
+    # control traffic isolated on a low-speed utility network
+    remedied = result.slow_with_utility
+    assert remedied is not None
+    benchmark.extra_info["utility_beacon_loss"] = round(
+        remedied.beacon_loss_rate, 3)
+    assert remedied.beacon_loss_rate < 0.02
+    assert remedied.failed < result.slow.failed

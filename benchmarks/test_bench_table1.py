@@ -1,0 +1,14 @@
+"""Table 1 benchmark: the TranSend/HotBot comparison, derived from both
+live implementations."""
+
+from benchmarks.conftest import run_once
+from repro.experiments.table1_comparison import run_table1
+
+
+def test_table1_transend_vs_hotbot(benchmark):
+    table = run_once(benchmark, run_table1)
+    print("\n" + table)
+    for row in ("Load balancing", "Application layer", "Service layer",
+                "Failure management", "Worker placement",
+                "User profile (ACID) database", "Caching"):
+        assert row in table

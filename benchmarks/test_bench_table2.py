@@ -1,0 +1,41 @@
+"""Table 2 benchmark: the full scalability sweep to ~160 req/s."""
+
+from benchmarks.conftest import run_once
+from repro.core.config import SNSConfig
+from repro.experiments.table2_scalability import run_table2
+
+
+def test_table2_scalability_sweep(benchmark):
+    config = SNSConfig(spawn_threshold=10.0, spawn_damping_s=10.0,
+                       dispatch_timeout_s=8.0,
+                       frontend_connection_overhead_s=0.014)
+    result = run_once(
+        benchmark, run_table2,
+        rates=tuple(range(10, 161, 15)),
+        step_duration_s=25.0, seed=1997, config=config)
+    print("\n" + result.render())
+    benchmark.extra_info["per_distiller_rps"] = round(
+        result.per_distiller_rps, 1)
+    benchmark.extra_info["per_frontend_rps"] = round(
+        result.per_frontend_rps, 1)
+    benchmark.extra_info["paper_per_distiller_rps"] = 23
+    benchmark.extra_info["paper_per_frontend_rps"] = "70-87"
+
+    rows = result.rows
+    # linear scaling: served tracks offered at every level
+    for row in rows:
+        assert row.completed_rps > 0.7 * row.rate_rps, row
+    # resource counts grow monotonically with load
+    assert rows[-1].n_distillers >= 5
+    assert rows[-1].n_frontends >= 2
+    # who saturates: distillers repeatedly, FE Ethernet at ~70-90
+    saturated = " ".join(row.saturated for row in rows)
+    assert "distillers" in saturated
+    assert "FE Ethernet" in saturated
+    fe_rows = [row for row in rows if "FE Ethernet" in row.saturated]
+    assert any(50 <= row.rate_rps <= 110 for row in fe_rows)
+    # paper-neighbourhood unit capacities
+    assert 15.0 < result.per_distiller_rps < 35.0
+    assert 50.0 < result.per_frontend_rps < 95.0
+    # interior SAN never the bottleneck at 100 Mb/s
+    assert result.san_utilization_peak < 0.5

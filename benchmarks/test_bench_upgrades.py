@@ -1,0 +1,51 @@
+"""Hot-upgrade benchmark: rolling reboot of the whole dedicated pool
+under load, service continuously available (Section 1.2)."""
+
+from benchmarks.conftest import run_once
+from repro.core.config import SNSConfig
+from repro.core.upgrades import HotUpgrade
+from repro.experiments._harness import build_bench_fabric
+from repro.sim.rng import RandomStreams
+from repro.workload.playback import PlaybackEngine
+from repro.workload.trace import TraceRecord
+
+
+def test_rolling_upgrade_availability(benchmark):
+    def scenario():
+        config = SNSConfig(dispatch_timeout_s=5.0, spawn_damping_s=5.0,
+                           frontend_connection_overhead_s=0.001)
+        fabric = build_bench_fabric(n_nodes=10, seed=1997,
+                                    config=config)
+        fabric.boot(n_frontends=2,
+                    initial_workers={"jpeg-distiller": 2})
+        fabric.cluster.run(until=2.0)
+        engine = PlaybackEngine(
+            fabric.cluster.env, fabric.submit,
+            rng=RandomStreams(1997).stream("upgrade-playback"),
+            timeout_s=20.0)
+        pool = [TraceRecord(0.0, f"client{index}",
+                            f"http://bench/img{index}.jpg",
+                            "image/jpeg", 10240) for index in range(30)]
+        fabric.cluster.env.process(
+            engine.constant_rate(15.0, 200.0, pool))
+        upgrade = HotUpgrade(fabric, hold_s=4.0, settle_s=8.0)
+        fabric.cluster.env.process(upgrade.rolling())
+        fabric.cluster.run(until=280.0)
+        return fabric, engine, upgrade
+
+    fabric, engine, upgrade = run_once(benchmark, scenario)
+    total = len(engine.outcomes)
+    ok = len(engine.completed())
+    fallbacks = sum(1 for outcome in engine.completed()
+                    if getattr(outcome.response, "status", "") ==
+                    "fallback")
+    print(f"\nrolling upgrade of {len(fabric.cluster.dedicated_nodes)} "
+          f"nodes under 15 req/s:")
+    for time, message in upgrade.log:
+        print(f"  t={time:6.1f}s  {message}")
+    print(f"availability: {ok}/{total} answered "
+          f"({fallbacks} approximate)")
+    benchmark.extra_info["availability"] = round(ok / total, 4)
+    assert all(node.up for node in fabric.cluster.dedicated_nodes)
+    assert ok > 0.85 * total
+    assert fabric.manager.alive

@@ -1,0 +1,122 @@
+"""Latency and throughput accumulators."""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+
+class LatencyStats:
+    """Streaming-friendly latency summary (stores samples; the
+    experiment scale here never needs sketches)."""
+
+    def __init__(self) -> None:
+        self._samples: List[float] = []
+        self._sorted = True
+
+    def add(self, value: float) -> None:
+        if value < 0:
+            raise ValueError("latency must be non-negative")
+        self._samples.append(value)
+        self._sorted = False
+
+    def extend(self, values: Iterable[float]) -> "LatencyStats":
+        for value in values:
+            self.add(value)
+        return self
+
+    def _ensure_sorted(self) -> None:
+        if not self._sorted:
+            self._samples.sort()
+            self._sorted = True
+
+    @property
+    def count(self) -> int:
+        return len(self._samples)
+
+    @property
+    def mean(self) -> float:
+        if not self._samples:
+            return 0.0
+        return sum(self._samples) / len(self._samples)
+
+    def percentile(self, fraction: float) -> float:
+        """Linear-interpolated quantile, fraction in [0, 1]."""
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError("fraction must be in [0, 1]")
+        if not self._samples:
+            return 0.0
+        self._ensure_sorted()
+        position = fraction * (len(self._samples) - 1)
+        low = int(math.floor(position))
+        high = int(math.ceil(position))
+        if low == high:
+            return self._samples[low]
+        weight = position - low
+        return (self._samples[low] * (1 - weight)
+                + self._samples[high] * weight)
+
+    @property
+    def p50(self) -> float:
+        return self.percentile(0.50)
+
+    @property
+    def p95(self) -> float:
+        return self.percentile(0.95)
+
+    @property
+    def p99(self) -> float:
+        return self.percentile(0.99)
+
+    @property
+    def maximum(self) -> float:
+        self._ensure_sorted()
+        return self._samples[-1] if self._samples else 0.0
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "count": float(self.count),
+            "mean": self.mean,
+            "p50": self.p50,
+            "p95": self.p95,
+            "p99": self.p99,
+            "max": self.maximum,
+        }
+
+
+def summarize_outcomes(outcomes) -> Dict[str, float]:
+    """Condense a playback engine's outcome list."""
+    stats = LatencyStats()
+    ok = 0
+    failed = 0
+    for outcome in outcomes:
+        if outcome.ok and outcome.latency is not None:
+            ok += 1
+            stats.add(outcome.latency)
+        elif not outcome.ok:
+            failed += 1
+    summary = stats.summary()
+    summary["ok"] = float(ok)
+    summary["failed"] = float(failed)
+    total = ok + failed
+    summary["success_rate"] = ok / total if total else 0.0
+    return summary
+
+
+def throughput_series(completion_times: Sequence[float],
+                      bucket_s: float) -> List[Tuple[float, float]]:
+    """(bucket start, completions/sec) over the span of completions."""
+    if bucket_s <= 0:
+        raise ValueError("bucket width must be positive")
+    if not completion_times:
+        return []
+    start = min(completion_times)
+    end = max(completion_times)
+    n_buckets = int((end - start) / bucket_s) + 1
+    counts = [0] * n_buckets
+    for time in completion_times:
+        counts[int((time - start) / bucket_s)] += 1
+    return [
+        (start + index * bucket_s, count / bucket_s)
+        for index, count in enumerate(counts)
+    ]

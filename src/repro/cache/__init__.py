@@ -1,0 +1,33 @@
+"""Caching substrate: the Harvest-derived cache subsystem.
+
+TranSend ran Harvest object caches on four nodes (Section 3.1.5), with
+three notable engineering moves reproduced here:
+
+* the manager stub treats separate cache nodes as a **single virtual
+  cache**, hashing the key space across them and re-hashing when nodes
+  come or go (:class:`~repro.cache.virtual_cache.VirtualCache`);
+* distillers can **inject post-transformation data** into the cache
+  (``put`` on the virtual cache — in stock Harvest this required a patch);
+* each cache request pays a fresh **TCP connection** (15 ms of the 27 ms
+  average hit time), a deficiency the paper kept and we model.
+
+Caching is "only an optimization": all cached data is BASE soft state and
+can be discarded at a performance cost — the cache node's ``flush`` models
+exactly that.
+"""
+
+from repro.cache.lru import LRUCache
+from repro.cache.partition import ConsistentHashRing, ModHashPartitioner
+from repro.cache.virtual_cache import VirtualCache
+from repro.cache.latency import HarvestLatencyModel
+from repro.cache.simulator import CacheSimulator, simulate_hit_rate
+
+__all__ = [
+    "CacheSimulator",
+    "ConsistentHashRing",
+    "HarvestLatencyModel",
+    "LRUCache",
+    "ModHashPartitioner",
+    "VirtualCache",
+    "simulate_hit_rate",
+]

@@ -1,0 +1,124 @@
+"""A set of cache nodes managed as one virtual cache.
+
+Routing lives here (partitioner), storage lives in per-node
+:class:`~repro.cache.lru.LRUCache` instances.  Adding or removing a node
+re-partitions the key space; with the 1997 mod-hash scheme that leaves
+most entries stranded on nodes that will no longer be asked for them, so
+the virtual cache's hit rate dips until the working set re-populates —
+the behaviour the consistent-hashing ablation quantifies.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.cache.lru import LRUCache
+from repro.cache.partition import ModHashPartitioner, PartitionError
+
+
+class VirtualCache:
+    """Hash-partitioned cache over named nodes."""
+
+    def __init__(
+        self,
+        node_capacity_bytes: int,
+        nodes: Optional[List[str]] = None,
+        partitioner_factory: Callable[[List[str]], Any] = ModHashPartitioner,
+    ) -> None:
+        self.node_capacity_bytes = node_capacity_bytes
+        self._partitioner_factory = partitioner_factory
+        self._partitioner = partitioner_factory(list(nodes or []))
+        self._stores: Dict[str, LRUCache] = {
+            name: LRUCache(node_capacity_bytes) for name in (nodes or [])
+        }
+        self.hits = 0
+        self.misses = 0
+
+    # -- membership --------------------------------------------------------
+
+    @property
+    def nodes(self) -> List[str]:
+        return self._partitioner.nodes
+
+    def add_node(self, name: str,
+                 capacity_bytes: Optional[int] = None) -> None:
+        self._partitioner.add_node(name)
+        self._stores[name] = LRUCache(
+            capacity_bytes or self.node_capacity_bytes)
+
+    def remove_node(self, name: str) -> int:
+        """Remove a node (crash or decommission); its contents are lost.
+        Returns the number of entries dropped."""
+        self._partitioner.remove_node(name)
+        store = self._stores.pop(name)
+        return store.flush()
+
+    def store_for(self, key: str) -> Tuple[str, LRUCache]:
+        """(node name, its store) responsible for ``key``."""
+        name = self._partitioner.locate(key)
+        return name, self._stores[name]
+
+    # -- cache operations ------------------------------------------------------
+
+    def get(self, key: str) -> Optional[Any]:
+        """Value if the responsible node holds it, else None.
+
+        Note the post-rehash behaviour falls out naturally: after
+        membership changes, entries on no-longer-responsible nodes are
+        simply never found again and age out of their LRU lists.
+        """
+        _, store = self.store_for(key)
+        value = store.get(key)
+        if value is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return value
+
+    def put(self, key: str, value: Any, size_bytes: int) -> str:
+        """Store on the responsible node; returns that node's name.
+
+        This is also the distiller-injection path ("we modified Harvest
+        to allow data to be injected into it, allowing distillers to
+        store post-transformed or intermediate-state data").
+        """
+        name, store = self.store_for(key)
+        store.put(key, value, size_bytes)
+        return name
+
+    def invalidate(self, key: str) -> bool:
+        try:
+            _, store = self.store_for(key)
+        except PartitionError:
+            return False
+        return store.invalidate(key)
+
+    def flush(self) -> int:
+        """Drop everything on every node (all BASE data is disposable)."""
+        return sum(store.flush() for store in self._stores.values())
+
+    # -- stats ------------------------------------------------------------------
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    @property
+    def used_bytes(self) -> int:
+        return sum(store.used_bytes for store in self._stores.values())
+
+    @property
+    def capacity_bytes(self) -> int:
+        return sum(store.capacity_bytes for store in self._stores.values())
+
+    def node_stats(self) -> Dict[str, Dict[str, float]]:
+        return {
+            name: {
+                "entries": len(store),
+                "used_bytes": store.used_bytes,
+                "hit_rate": store.hit_rate,
+                "evictions": store.evictions,
+            }
+            for name, store in self._stores.items()
+        }

@@ -1,0 +1,280 @@
+"""Command-line interface: run any reproduced experiment by name.
+
+::
+
+    python -m repro list
+    python -m repro run figure8 --seed 7
+    python -m repro run table2
+    python -m repro run all
+
+Each experiment prints its result in the paper's shape (the same
+renderers the benchmarks use).  ``--quick`` runs the reduced scales the
+unit tests use; the default is full benchmark scale.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.experiments import (
+    run_cache_size_sweep,
+    run_economics,
+    run_endtoend,
+    run_fault_timeline,
+    run_figure5,
+    run_figure6,
+    run_figure7,
+    run_figure8,
+    run_frontend_state,
+    run_hotbot_degradation,
+    run_hotbot_throughput,
+    run_manager_capacity,
+    run_population_sweep,
+    run_san_saturation,
+    run_table1,
+    run_table2,
+)
+
+#: name -> (description, full-scale runner, quick runner).
+#: Runners take a seed and return printable text.
+EXPERIMENTS: Dict[str, Tuple[str, Callable, Callable]] = {
+    "figure5": (
+        "content-size distributions (Figure 5)",
+        lambda seed: run_figure5(100_000, seed),
+        lambda seed: run_figure5(20_000, seed),
+    ),
+    "figure6": (
+        "request-rate burstiness (Figure 6)",
+        lambda seed: run_figure6(86_400.0, seed),
+        lambda seed: run_figure6(4 * 3600.0, seed),
+    ),
+    "figure7": (
+        "distillation latency vs size (Figure 7)",
+        lambda seed: run_figure7(100_000, seed),
+        lambda seed: run_figure7(20_000, seed),
+    ),
+    "figure8": (
+        "self-tuning and fault recovery (Figure 8)",
+        lambda seed: run_figure8(seed=seed, peak_rate_rps=60.0),
+        lambda seed: run_figure8(duration_s=200.0, kill_at_s=120.0,
+                                 seed=seed),
+    ),
+    "table1": (
+        "TranSend vs HotBot differences (Table 1)",
+        lambda seed: run_table1(),
+        lambda seed: run_table1(),
+    ),
+    "table2": (
+        "scalability sweep (Table 2)",
+        lambda seed: run_table2(seed=seed),
+        lambda seed: run_table2(rates=(15, 35, 55, 75, 95),
+                                step_duration_s=20.0,
+                                seed=seed),
+    ),
+    "cache": (
+        "cache-size hit-rate sweep (Section 4.4)",
+        lambda seed: run_cache_size_sweep(seed=seed),
+        lambda seed: run_cache_size_sweep(n_users=300,
+                                          n_requests=25_000, seed=seed),
+    ),
+    "population": (
+        "population hit-rate sweep (Section 4.4)",
+        lambda seed: run_population_sweep(seed=seed),
+        lambda seed: run_population_sweep(
+            populations=(25, 100, 400, 1600),
+            requests_per_user=40, seed=seed),
+    ),
+    "frontend-state": (
+        "front-end state accounting (Section 4.4)",
+        lambda seed: run_frontend_state(seed=seed),
+        lambda seed: run_frontend_state(rate_rps=10.0, duration_s=90.0,
+                                        seed=seed),
+    ),
+    "manager": (
+        "manager announcement capacity (Section 4.6)",
+        lambda seed: run_manager_capacity(seed=seed),
+        lambda seed: run_manager_capacity(duration_s=10.0,
+                                          seed=seed),
+    ),
+    "san": (
+        "SAN saturation + utility-network remedy (Section 4.6)",
+        lambda seed: run_san_saturation(seed=seed),
+        lambda seed: run_san_saturation(duration_s=30.0,
+                                        seed=seed),
+    ),
+    "faults": (
+        "process-peer fault timeline (Section 3.1.3)",
+        lambda seed: run_fault_timeline(seed=seed),
+        lambda seed: run_fault_timeline(rate_rps=10.0,
+                                        seed=seed),
+    ),
+    "hotbot": (
+        "HotBot graceful degradation",
+        lambda seed: run_hotbot_degradation(seed=seed),
+        lambda seed: run_hotbot_degradation(n_nodes=8, n_docs=800,
+                                            seed=seed),
+    ),
+    "hotbot-throughput": (
+        "HotBot 'millions of queries per day'",
+        lambda seed: run_hotbot_throughput(seed=seed),
+        lambda seed: run_hotbot_throughput(
+            offered_qps=30.0, duration_s=20.0, n_workers=8,
+            n_docs=1500, seed=seed),
+    ),
+    "economics": (
+        "economic feasibility (Section 5.2)",
+        lambda seed: run_economics(seed=seed),
+        lambda seed: run_economics(n_users=100, n_requests=5_000,
+                                   seed=seed),
+    ),
+    "endtoend": (
+        "end-to-end latency reduction (the Section 1.1 headline)",
+        lambda seed: run_endtoend(seed=seed),
+        lambda seed: run_endtoend(n_requests=150, seed=seed),
+    ),
+}
+
+
+def _render(result) -> str:
+    """Best-effort rendering: experiment results know how to render
+    themselves; plain strings (Table 1, economics) already are text."""
+    if isinstance(result, str):
+        return result
+    render = getattr(result, "render", None)
+    if callable(render):
+        return render()
+    return repr(result)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce 'Cluster-Based Scalable Network "
+                    "Services' (SOSP 1997) experiments.")
+    subparsers = parser.add_subparsers(dest="command")
+    subparsers.add_parser("list", help="list available experiments")
+    run_parser = subparsers.add_parser(
+        "run", help="run one experiment (or 'all')")
+    run_parser.add_argument(
+        "experiment",
+        help="experiment name from 'list', or 'all'")
+    run_parser.add_argument("--seed", type=int, default=1997,
+                            help="master RNG seed (default 1997)")
+    run_parser.add_argument("--quick", action="store_true",
+                            help="reduced scale for a fast look")
+    run_parser.add_argument("--export", metavar="DIR", default=None,
+                            help="also write <DIR>/<name>.json with the "
+                                 "raw result data")
+    trace_parser = subparsers.add_parser(
+        "trace", help="generate or analyze a synthetic HTTP trace")
+    trace_parser.add_argument("--duration", type=float, default=3600.0,
+                              help="trace span in seconds "
+                                   "(default 3600)")
+    trace_parser.add_argument("--rate", type=float, default=5.8,
+                              help="mean request rate (default 5.8, "
+                                   "the Berkeley dialup average)")
+    trace_parser.add_argument("--seed", type=int, default=1997)
+    trace_parser.add_argument("--out", metavar="FILE", default=None,
+                              help="write the trace to FILE "
+                                   "(tab-separated)")
+    trace_parser.add_argument("--analyze", metavar="FILE", default=None,
+                              help="analyze an existing trace file "
+                                   "instead of generating")
+    return parser
+
+
+def list_experiments() -> str:
+    width = max(len(name) for name in EXPERIMENTS)
+    lines = ["available experiments:"]
+    for name in sorted(EXPERIMENTS):
+        description = EXPERIMENTS[name][0]
+        lines.append(f"  {name.ljust(width)}  {description}")
+    lines.append(f"  {'all'.ljust(width)}  run every experiment")
+    return "\n".join(lines)
+
+
+def run_experiment(name: str, seed: int, quick: bool,
+                   export_dir: Optional[str] = None) -> str:
+    description, full, fast = EXPERIMENTS[name]
+    runner = fast if quick else full
+    result = runner(seed)
+    header = f"=== {name}: {description} (seed {seed}) ==="
+    text = header + "\n" + _render(result)
+    if export_dir is not None:
+        from repro.analysis.export import export_result
+        path = export_result(name, result, export_dir)
+        text += f"\n[exported {path}]"
+    return text
+
+
+def trace_command(args) -> int:
+    """Generate a synthetic trace, or analyze one from disk."""
+    from repro.workload.burstiness import burstiness_report
+    from repro.workload.trace import load_trace, save_trace
+    from repro.workload.tracegen import TraceGenerator
+
+    if args.analyze is not None:
+        records = load_trace(args.analyze)
+        source = args.analyze
+    else:
+        generator = TraceGenerator(seed=args.seed,
+                                   mean_rate_rps=args.rate)
+        records = generator.generate(args.duration)
+        source = (f"generated: {args.duration:g}s at ~{args.rate:g} "
+                  f"req/s, seed {args.seed}")
+        if args.out is not None:
+            count = save_trace(records, args.out)
+            print(f"wrote {count} records to {args.out}")
+    if not records:
+        print("trace is empty")
+        return 0
+    by_mime: dict = {}
+    for record in records:
+        stats = by_mime.setdefault(record.mime, [0, 0])
+        stats[0] += 1
+        stats[1] += record.size_bytes
+    clients = len({record.client_id for record in records})
+    span = records[-1].timestamp - records[0].timestamp
+    print(f"trace: {source}")
+    print(f"  {len(records)} requests over {span:.0f}s from "
+          f"{clients} clients")
+    for mime in sorted(by_mime):
+        count, total_bytes = by_mime[mime]
+        print(f"  {mime:<26} {count / len(records):6.1%}  "
+              f"mean {total_bytes / count:8.0f} B")
+    for scale, stats in sorted(
+            burstiness_report(records).items(), reverse=True):
+        print(f"  {scale:g}s buckets: avg {stats['avg_rps']:.1f} "
+              f"req/s, peak {stats['peak_rps']:.1f}, dispersion "
+              f"{stats['dispersion']:.1f}")
+    return 0
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        if args.command is None or args.command == "list":
+            print(list_experiments())
+            return 0
+        if args.command == "trace":
+            return trace_command(args)
+        if args.experiment == "all":
+            names = sorted(EXPERIMENTS)
+        elif args.experiment in EXPERIMENTS:
+            names = [args.experiment]
+        else:
+            print(f"unknown experiment {args.experiment!r}\n",
+                  file=sys.stderr)
+            print(list_experiments(), file=sys.stderr)
+            return 2
+        for name in names:
+            print(run_experiment(name, args.seed, args.quick,
+                                 args.export))
+            print()
+    except BrokenPipeError:
+        # output piped into e.g. `head`; exit quietly like a good CLI
+        return 0
+    return 0

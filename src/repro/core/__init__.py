@@ -1,0 +1,64 @@
+"""The SNS layer: the paper's primary contribution.
+
+"SNS: Scalable Network Service support — incremental and absolute
+scalability, worker load balancing and overflow management, front-end
+availability, fault tolerance mechanisms, system monitoring and logging"
+(Figure 2).
+
+Assembly order for a new service (see ``examples/``):
+
+1. build a :class:`~repro.sim.cluster.Cluster`;
+2. register worker types in a
+   :class:`~repro.tacc.registry.WorkerRegistry`;
+3. write the service logic (an object with a
+   ``handle(frontend, record)`` process generator returning a
+   :class:`~repro.core.frontend.Response`);
+4. wire them with an :class:`~repro.core.fabric.SNSFabric` and
+   ``boot()``.
+
+Scalability, load balancing, fault tolerance, bursts, and monitoring
+come from this layer; the service author writes only workers and
+dispatch logic.
+"""
+
+from repro.core.config import SNSConfig
+from repro.core.component import Component
+from repro.core.fabric import FabricError, SNSFabric
+from repro.core.frontend import FrontEnd, Response
+from repro.core.manager import Manager
+from repro.core.manager_stub import DispatchError, ManagerStub
+from repro.core.monitor import Alert, Monitor
+from repro.core.upgrades import HotUpgrade
+from repro.core.worker_stub import WorkerStub
+from repro.core.messages import (
+    BEACON_GROUP,
+    MONITOR_GROUP,
+    LoadReport,
+    ManagerBeacon,
+    MonitorReport,
+    WorkEnvelope,
+    WorkerAdvert,
+)
+
+__all__ = [
+    "Alert",
+    "BEACON_GROUP",
+    "Component",
+    "DispatchError",
+    "FabricError",
+    "FrontEnd",
+    "HotUpgrade",
+    "LoadReport",
+    "MONITOR_GROUP",
+    "Manager",
+    "ManagerBeacon",
+    "ManagerStub",
+    "Monitor",
+    "MonitorReport",
+    "Response",
+    "SNSConfig",
+    "SNSFabric",
+    "WorkEnvelope",
+    "WorkerAdvert",
+    "WorkerStub",
+]

@@ -1,0 +1,98 @@
+"""Base class for SNS components (manager, front ends, worker stubs).
+
+A component is a named simulation process pinned to a node.  Its life
+cycle is deliberately crash-oriented: ``kill()`` models SIGKILL — the
+main loop is interrupted mid-whatever, channels break, queue contents
+evaporate — because the whole point of the SNS design is that peers
+recover from exactly that, with no clean-shutdown cooperation from the
+victim (Section 3.1.3).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional
+
+from repro.sim.cluster import Cluster
+from repro.sim.kernel import Environment, Interrupt, Process
+from repro.sim.node import Node
+
+
+class Component:
+    """A named, killable process hosted on a cluster node."""
+
+    kind = "component"
+
+    def __init__(self, cluster: Cluster, node: Node, name: str) -> None:
+        self.cluster = cluster
+        self.env: Environment = cluster.env
+        self.node = node
+        self.name = name
+        self.alive = False
+        self.started_at: Optional[float] = None
+        self.killed_at: Optional[float] = None
+        self._procs: List[Process] = []
+        self._on_death: List[Callable[["Component"], None]] = []
+
+    # -- life cycle ----------------------------------------------------------
+
+    def start(self) -> "Component":
+        if self.alive:
+            raise RuntimeError(f"{self.name} already started")
+        self.alive = True
+        self.started_at = self.env.now
+        self.node.attach(self.name)
+        self._start_processes()
+        return self
+
+    def _start_processes(self) -> None:
+        """Subclasses spawn their loops here via :meth:`spawn`."""
+        raise NotImplementedError
+
+    def spawn(self, generator) -> Process:
+        """Track a sub-process so kill() can interrupt it."""
+        if len(self._procs) > 64:
+            self._procs = [p for p in self._procs if p.is_alive]
+        process = self.env.process(self._guard(generator))
+        self._procs.append(process)
+        return process
+
+    def _guard(self, generator):
+        """Absorb the Interrupt a kill throws so component death never
+        crashes the simulation itself."""
+        try:
+            yield from generator
+        except Interrupt:
+            pass
+
+    def kill(self) -> None:
+        """Crash the component (SIGKILL semantics)."""
+        if not self.alive:
+            return
+        self.alive = False
+        self.killed_at = self.env.now
+        self.node.detach(self.name)
+        for process in self._procs:
+            # A component may kill itself from inside one of its own
+            # processes (e.g. a standby promoting itself); that frame
+            # simply returns after the kill, so skip interrupting it.
+            if process.is_alive and process is not self.env.active_process:
+                process.interrupt(f"{self.name} killed")
+        self._procs.clear()
+        self._on_crash()
+        for callback in self._on_death:
+            callback(self)
+
+    def _on_crash(self) -> None:
+        """Subclasses break channels / drop queues here."""
+
+    def on_death(self, callback: Callable[["Component"], None]) -> None:
+        """Register a supervisor-side hook (used by the fabric to track
+        populations; *not* a failure detector — components in the system
+        detect failures only through broken connections, lost beacons,
+        and timeouts)."""
+        self._on_death.append(callback)
+
+    def __repr__(self) -> str:
+        state = "alive" if self.alive else "dead"
+        return f"<{type(self).__name__} {self.name} on {self.node.name} " \
+               f"{state}>"

@@ -1,0 +1,115 @@
+"""SNS layer configuration.
+
+Every tunable named in the paper lives here with its paper-derived
+default: the spawn threshold *H* ("when the average crosses a
+configurable threshold H, the manager spawns a new distiller"), the
+damping interval *D* ("the spawning mechanism is disabled for D
+seconds"), beacon and load-report periods ("a load announcement packet
+for the manager every half a second"), the front-end thread pool ("the
+production TranSend runs with a single front-end of about 400 threads"),
+and the per-connection front-end overhead that makes a 100 Mb/s segment
+top out near 70 requests/second (Section 4.6, footnote 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass
+class SNSConfig:
+    """Knobs for the manager, stubs, and front ends."""
+
+    # -- soft-state refresh --------------------------------------------------
+    #: manager beacon period on the well-known multicast channel.
+    beacon_interval_s: float = 0.5
+    #: worker stub load-report period ("every half a second").
+    report_interval_s: float = 0.5
+    #: beacons a manager stub may miss before declaring the manager dead
+    #: and exercising its process-peer duty to restart it.
+    beacon_loss_tolerance: int = 6
+    #: seconds without a load report before the manager presumes a
+    #: worker dead (timeouts as the backup failure detector).
+    worker_timeout_s: float = 5.0
+
+    # -- spawn / reap policy --------------------------------------------------
+    #: threshold H: spawn when a type's average queue length crosses it.
+    spawn_threshold: float = 10.0
+    #: damping D: seconds the spawner is disabled after each spawn.
+    spawn_damping_s: float = 15.0
+    #: reap a worker when the type's average queue stays below this...
+    reap_threshold: float = 0.5
+    #: ...for this long, and more than min_workers_per_type remain.
+    reap_after_s: float = 60.0
+    min_workers_per_type: int = 1
+    #: recruit overflow-pool nodes when the dedicated pool is exhausted.
+    use_overflow_pool: bool = True
+
+    # -- load balancing ----------------------------------------------------------
+    #: "centralized" (the paper's design: the manager aggregates load
+    #: and beacons hints) or "distributed" (the Section 2.2.2
+    #: alternative the paper argues against: every worker multicasts its
+    #: own load to every front end).  The manager still exists in
+    #: distributed mode for spawning and process-peer duties; it just
+    #: plays no part in balancing.
+    balancing: str = "centralized"
+    #: load metric (Section 3.1.2, footnote 2): "queue" counts waiting
+    #: requests; "weighted-cost" weights each queued item by its
+    #: expected cost in seconds — with it, spawn_threshold is literally
+    #: "the greatest delay the user is willing to tolerate", in seconds.
+    load_metric: str = "queue"
+    #: exponential moving average weight for queue-length reports.
+    load_ewma_alpha: float = 0.3
+    #: manager stubs extrapolate queue deltas between reports (the
+    #: Section 4.5 oscillation fix); disable for the ablation.
+    estimate_queue_deltas: bool = True
+    #: lottery-scheduling weight exponent: weight = 1/(1+queue)^gamma.
+    lottery_gamma: float = 2.0
+    #: per-dispatch timeout before the front end retries elsewhere.
+    dispatch_timeout_s: float = 8.0
+    #: dispatch attempts before falling back to the original content.
+    dispatch_attempts: int = 2
+
+    # -- front ends -----------------------------------------------------------------
+    #: thread-pool size ("about 400 threads").
+    frontend_threads: int = 400
+    #: per-request TCP/kernel overhead at the front end; 14 ms gives the
+    #: ~70 req/s per-FE ceiling measured in Section 4.6.
+    frontend_connection_overhead_s: float = 0.014
+    #: request/response header bytes charged to the FE access link on
+    #: top of content bytes.
+    request_overhead_bytes: int = 400
+
+    # -- workers ----------------------------------------------------------------------
+    #: worker stub queue capacity; beyond this, submissions are refused
+    #: (the stub "accepts and queues requests on behalf of the
+    #: distiller").
+    worker_queue_capacity: int = 200
+
+    # -- caching ------------------------------------------------------------------------
+    #: distillation threshold: content under 1 KB is passed unmodified.
+    distillation_threshold_bytes: int = 1024
+    #: store distilled results in the virtual cache.
+    cache_distilled: bool = True
+
+    def validate(self) -> "SNSConfig":
+        if self.beacon_interval_s <= 0 or self.report_interval_s <= 0:
+            raise ValueError("intervals must be positive")
+        if self.spawn_threshold <= 0:
+            raise ValueError("spawn threshold must be positive")
+        if self.spawn_damping_s < 0:
+            raise ValueError("spawn damping must be non-negative")
+        if not 0 < self.load_ewma_alpha <= 1:
+            raise ValueError("EWMA alpha must be in (0, 1]")
+        if self.load_metric not in ("queue", "weighted-cost"):
+            raise ValueError(
+                f"unknown load metric {self.load_metric!r}")
+        if self.balancing not in ("centralized", "distributed"):
+            raise ValueError(
+                f"unknown balancing mode {self.balancing!r}")
+        if self.dispatch_attempts < 1:
+            raise ValueError("need at least one dispatch attempt")
+        if self.frontend_threads < 1:
+            raise ValueError("front end needs at least one thread")
+        return self

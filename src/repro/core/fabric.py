@@ -1,0 +1,273 @@
+"""The SNS fabric: assembly, naming, and restart factories.
+
+The fabric is the deployment glue the paper leaves implicit: it knows how
+to create component *processes* (manager, front ends, workers, monitor)
+on nodes, which is what the process-peer mechanisms invoke when they
+restart a crashed peer.  It also implements the client side: the
+"client-side JavaScript" (Section 3.1.2) that balances requests across
+front ends and masks transient front end failures is
+:meth:`SNSFabric.submit`'s round-robin over live front ends.
+
+The fabric itself holds no protocol state — all coordination remains
+soft state inside the components — it is only a factory plus population
+bookkeeping for experiments to inspect.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict, List, Optional
+
+from repro.core.config import SNSConfig
+from repro.core.frontend import FrontEnd
+from repro.core.manager import Manager, SPAWN_DELAY_S
+from repro.core.monitor import Monitor
+from repro.core.worker_stub import WorkerStub
+from repro.sim.cluster import Cluster
+from repro.sim.network import MBPS
+from repro.sim.node import Node
+from repro.tacc.registry import WorkerRegistry
+
+
+class FabricError(Exception):
+    """Assembly errors: no nodes, unknown types, double boot."""
+
+
+class SNSFabric:
+    """Factories + population bookkeeping for one SNS installation."""
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        registry: WorkerRegistry,
+        config: SNSConfig,
+        service: Any,
+        execute_real: bool = False,
+        frontend_link_bandwidth_bps: float = 100 * MBPS,
+    ) -> None:
+        self.cluster = cluster
+        self.registry = registry
+        self.config = config.validate()
+        self.service = service
+        self.execute_real = execute_real
+        self.frontend_link_bandwidth_bps = frontend_link_bandwidth_bps
+
+        self.manager: Optional[Manager] = None
+        #: hot standby when the manager runs in process-pair mode.
+        self.secondary: Optional[Any] = None
+        self.monitor: Optional[Monitor] = None
+        self.frontends: Dict[str, FrontEnd] = {}
+        self.workers: Dict[str, WorkerStub] = {}
+        self._incarnation = itertools.count(1)
+        self._worker_seq: Dict[str, itertools.count] = {}
+        self._frontend_seq = itertools.count()
+        self._manager_restart_pending = False
+        self._client_rr = 0
+        self.manager_restarts = 0
+
+    # -- placement helpers ---------------------------------------------------
+
+    def _place(self, node: Optional[Node]) -> Node:
+        if node is not None:
+            if not node.up:
+                raise FabricError(f"node {node.name} is down")
+            return node
+        free = self.cluster.free_node()
+        return free if free is not None else \
+            self.cluster.least_loaded_node()
+
+    # -- manager ------------------------------------------------------------------
+
+    def start_manager(self, node: Optional[Node] = None,
+                      process_pair: bool = False) -> Manager:
+        """Start the manager — soft-state-only (the paper's final
+        design) or with a process-pair hot standby (the prototype design
+        of Section 3.1.3, kept for the ablation)."""
+        if self.manager is not None and self.manager.alive:
+            raise FabricError("a manager is already running")
+        node = self._place(node)
+        incarnation = next(self._incarnation)
+        if process_pair:
+            from repro.core.process_pair import MirroredManager
+            manager = MirroredManager(
+                self.cluster, node, f"manager.{incarnation}",
+                self.config, self, incarnation)
+        else:
+            manager = Manager(self.cluster, node,
+                              f"manager.{incarnation}",
+                              self.config, self, incarnation)
+        manager.start()
+        self.manager = manager
+        if process_pair:
+            self._start_secondary(manager)
+        return manager
+
+    def _start_secondary(self, primary) -> None:
+        from repro.core.process_pair import SecondaryManager
+        node = self._place(None)
+        secondary = SecondaryManager(
+            self.cluster, node,
+            f"{primary.name}.secondary", self.config, self)
+        secondary.start()
+        primary.attach_secondary(secondary)
+        self.secondary = secondary
+
+    def promote_secondary(self, node: Node, state) -> Manager:
+        """Process-pair takeover: a new primary with the mirrored state,
+        beaconing immediately; a fresh secondary re-pairs with it."""
+        from repro.core.process_pair import seed_manager_state
+        if self.manager is not None and self.manager.alive:
+            return self.manager  # raced with another recovery path
+        self._manager_restart_pending = True
+        try:
+            manager = self.start_manager(
+                node if node.up else None, process_pair=True)
+            seed_manager_state(manager, state)
+            self.manager_restarts += 1
+            return manager
+        finally:
+            self._manager_restart_pending = False
+
+    def restart_manager(self, requested_by: str = "?") -> bool:
+        """Process-peer entry point: a front end noticed beacon silence.
+
+        Idempotent under races — if several front ends notice at once,
+        one restart happens ("one of its peers restarts it").
+        """
+        if self._manager_restart_pending:
+            return False
+        if self.manager is not None and self.manager.alive:
+            return False
+        self._manager_restart_pending = True
+        self.manager_restarts += 1
+        self.cluster.env.process(self._manager_restart())
+        return True
+
+    def _manager_restart(self):
+        yield self.cluster.env.timeout(SPAWN_DELAY_S)
+        try:
+            # restart on the old node if it survived, else relocate
+            # ("on a different node if necessary")
+            node = None
+            if self.manager is not None and self.manager.node.up:
+                node = self.manager.node
+            self.manager = None
+            self.start_manager(node)
+        finally:
+            self._manager_restart_pending = False
+
+    # -- front ends ------------------------------------------------------------------
+
+    def start_frontend(self, node: Optional[Node] = None,
+                       name: Optional[str] = None) -> FrontEnd:
+        node = self._place(node)
+        if name is None:
+            name = f"fe{next(self._frontend_seq)}"
+        link_name = f"{name}.eth"
+        link = self.cluster.network.access_links.get(link_name)
+        if link is None:
+            link = self.cluster.add_access_link(
+                link_name, self.frontend_link_bandwidth_bps)
+        frontend = FrontEnd(self.cluster, node, name, self.config,
+                            self.service, self, access_link=link)
+        frontend.start()
+        self.frontends[name] = frontend
+        return frontend
+
+    def restart_frontend(self, name: str, node_name: str) -> None:
+        """Process-peer entry point for the manager."""
+        self.cluster.env.process(self._frontend_restart(name, node_name))
+
+    def _frontend_restart(self, name: str, node_name: str):
+        yield self.cluster.env.timeout(SPAWN_DELAY_S)
+        current = self.frontends.get(name)
+        if current is not None and current.alive:
+            return  # already back (raced restarts)
+        node = self.cluster.nodes.get(node_name)
+        if node is None or not node.up:
+            node = self._place(None)
+        self.start_frontend(node, name)
+
+    # -- workers -------------------------------------------------------------------------
+
+    def spawn_worker(self, worker_type: str,
+                     node: Optional[Node] = None,
+                     execute_real: Optional[bool] = None) -> WorkerStub:
+        """Create and start one worker process (manager spawn path)."""
+        if worker_type not in self.registry:
+            raise FabricError(f"unknown worker type {worker_type!r}")
+        node = self._place(node)
+        sequence = self._worker_seq.setdefault(worker_type,
+                                               itertools.count(1))
+        name = f"{worker_type}.{next(sequence)}"
+        stub = WorkerStub(
+            self.cluster, node, name,
+            self.registry.create(worker_type), self.config,
+            execute_real=self.execute_real if execute_real is None
+            else execute_real,
+            on_overflow_node=node.overflow,
+        )
+        stub.start()
+        self.workers[name] = stub
+        return stub
+
+    def alive_workers(self,
+                      worker_type: Optional[str] = None) -> List[WorkerStub]:
+        return [
+            stub for stub in self.workers.values()
+            if stub.alive and (worker_type is None
+                               or stub.worker_type == worker_type)
+        ]
+
+    # -- monitor ---------------------------------------------------------------------------
+
+    def start_monitor(self, node: Optional[Node] = None,
+                      **kwargs) -> Monitor:
+        node = self._place(node)
+        monitor = Monitor(self.cluster, node, "monitor", self.config,
+                          **kwargs)
+        monitor.start()
+        self.monitor = monitor
+        return monitor
+
+    # -- client side ------------------------------------------------------------------------
+
+    def alive_frontends(self) -> List[FrontEnd]:
+        return [fe for fe in self.frontends.values() if fe.alive]
+
+    def submit(self, record: Any):
+        """Client entry: round-robin over live front ends.
+
+        This is the paper's client-side balancing ("Client-side
+        JavaScript support balances load across multiple front ends and
+        masks transient front end failures").
+        """
+        frontends = self.alive_frontends()
+        if not frontends:
+            # nobody home: the request hangs until the client times out
+            return self.cluster.env.event()
+        frontends.sort(key=lambda fe: fe.name)
+        self._client_rr = (self._client_rr + 1) % len(frontends)
+        return frontends[self._client_rr].submit(record)
+
+    # -- convenience assembly ------------------------------------------------------------------
+
+    def boot(self, n_frontends: int = 1,
+             initial_workers: Optional[Dict[str, int]] = None,
+             with_monitor: bool = True) -> "SNSFabric":
+        """Start a minimal instance: manager + front ends (+ workers).
+
+        Mirrors the Section 4.6 bootstrap: "Begin with a minimal
+        instance of the system: one front end, one distiller, the
+        manager, and some fixed number of cache partitions."
+        """
+        if self.manager is None:
+            self.start_manager()
+        if with_monitor and self.monitor is None:
+            self.start_monitor(node=self.manager.node)
+        for _ in range(n_frontends):
+            self.start_frontend()
+        for worker_type, count in (initial_workers or {}).items():
+            for _ in range(count):
+                self.spawn_worker(worker_type)
+        return self

@@ -1,0 +1,241 @@
+"""The front end: the SNS's interface to the outside world.
+
+"Front Ends provide the interface to the SNS as seen by the outside
+world ... They 'shepherd' incoming requests by matching them up with the
+appropriate user profile from the customization database, and queueing
+them for service by one or more workers" (Section 2.1).  The front end
+owns all control flow — workers stay simple — so "the behavior of the
+service as a whole [is] defined almost entirely in the front end"; the
+service-specific part is delegated to a *service logic* object with a
+``handle(frontend, record)`` process generator (the Service layer).
+
+Infrastructure modelled here, per the paper's measurements:
+
+* a **thread pool** (~400 threads in production) bounding concurrent
+  requests;
+* a per-request **connection overhead** through the front end's network
+  stack — the serial resource that tops a front end out near 70
+  requests/second on 100 Mb/s Ethernet (Section 4.6, footnote 5: "TCP
+  connection setup and processing overhead is the dominating factor");
+* byte accounting on the front end's **access link**, so response
+  traffic can genuinely saturate a slow segment;
+* an embedded :class:`~repro.core.manager_stub.ManagerStub`, plus the
+  process-peer duty: "The front end detects and restarts a crashed
+  manager."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from repro.core.component import Component
+from repro.core.config import SNSConfig
+from repro.core.manager_stub import ManagerStub
+from repro.core.messages import (
+    BEACON_GROUP,
+    REPORT_BYTES,
+    ManagerBeacon,
+    RegisterFrontEnd,
+)
+from repro.sim.cluster import Cluster
+from repro.sim.network import Link
+from repro.sim.node import Node
+from repro.sim.transport import Channel, ChannelClosed
+
+
+@dataclass
+class Response:
+    """What the front end hands back to a client."""
+
+    status: str                 # "ok" | "fallback" | "error"
+    path: str                   # e.g. "cache-hit", "distilled", "original"
+    content: Any = None
+    size_bytes: int = 0
+    detail: str = ""
+    annotations: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return self.status != "error"
+
+
+class FrontEnd(Component):
+    """HTTP interface + request shepherd + process peer of the manager."""
+
+    kind = "frontend"
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        node: Node,
+        name: str,
+        config: SNSConfig,
+        service: Any,
+        fabric: Any,
+        access_link: Optional[Link] = None,
+    ) -> None:
+        super().__init__(cluster, node, name)
+        self.config = config
+        self.service = service
+        self.fabric = fabric
+        self.access_link = access_link
+        self.stub = ManagerStub(
+            cluster, config, name,
+            cluster.streams.stream(f"lottery:{name}"))
+        # the kernel/TCP serial resource: capacity 1/overhead requests/s
+        self.netstack = Link(
+            cluster.env, f"{name}.netstack",
+            bandwidth_bps=1.0 / config.frontend_connection_overhead_s,
+            latency_s=0.0)
+        self.threads = cluster.env.queue()
+        for index in range(config.frontend_threads):
+            self.threads.put_nowait(index)
+        self._manager_endpoint = None
+        # counters
+        self.requests_received = 0
+        self.responses_sent = 0
+        self.fallbacks = 0
+        self.errors = 0
+
+    # -- client entry ------------------------------------------------------------
+
+    def submit(self, record: Any):
+        """Accept one client request; returns the reply event.
+
+        A dead front end returns an event that never fires — clients
+        (or their client-side balancing script) time out and try another
+        front end.
+        """
+        reply = self.env.event()
+        if not self.alive:
+            return reply
+        self.requests_received += 1
+        self.spawn(self._handle(record, reply))
+        return reply
+
+    def _handle(self, record: Any, reply):
+        # connection setup through the kernel: the per-request serial cost
+        yield self.env.timeout(self.netstack.reserve(1.0))
+        if self.access_link is not None:
+            yield self.env.timeout(self.access_link.reserve(
+                self.config.request_overhead_bytes))
+        thread = yield self.threads.get()
+        try:
+            response = yield from self.service.handle(self, record)
+        except Exception as error:  # service bug: error page, not a crash
+            response = Response(status="error", path="exception",
+                                detail=f"{type(error).__name__}: {error}")
+        finally:
+            self.threads.put_nowait(thread)
+        if response.status == "fallback":
+            self.fallbacks += 1
+        elif response.status == "error":
+            self.errors += 1
+        # ship the response back out the access link
+        if self.access_link is not None:
+            out_bytes = response.size_bytes + \
+                self.config.request_overhead_bytes
+            yield self.env.timeout(self.access_link.reserve(out_bytes))
+        if self.alive and not reply.triggered:
+            self.responses_sent += 1
+            reply.succeed(response)
+
+    @property
+    def active_requests(self) -> int:
+        return self.config.frontend_threads - self.threads.length
+
+    def is_saturated(self) -> bool:
+        """The Table 2 'FE Ethernet' saturation signal."""
+        if self.netstack.utilization() >= 0.9:
+            return True
+        return (self.access_link is not None
+                and self.access_link.utilization() >= 0.9)
+
+    # -- processes -------------------------------------------------------------------
+
+    def _start_processes(self) -> None:
+        self.spawn(self._beacon_listener())
+        self.spawn(self._manager_watchdog())
+        self.spawn(self._heartbeat_loop())
+        if self.config.balancing == "distributed":
+            self.spawn(self._announcement_listener())
+
+    def _announcement_listener(self):
+        """Distributed-balancing mode: consume the workers' own load
+        announcements (Section 2.2.2's road not taken)."""
+        from repro.core.messages import WORKER_ANNOUNCE_GROUP
+        subscription = self.cluster.multicast.group(
+            WORKER_ANNOUNCE_GROUP).subscribe(self.name)
+        try:
+            while True:
+                advert = yield subscription.get()
+                self.stub.observe_worker_advert(advert)
+        finally:
+            subscription.cancel()
+
+    def _beacon_listener(self):
+        subscription = self.cluster.multicast.group(BEACON_GROUP).subscribe(
+            self.name)
+        try:
+            while True:
+                beacon: ManagerBeacon = yield subscription.get()
+                is_new_manager = self.stub.observe_beacon(beacon)
+                if is_new_manager:
+                    yield from self._register_with_manager(beacon)
+        finally:
+            subscription.cancel()
+
+    def _register_with_manager(self, beacon: ManagerBeacon):
+        channel = yield from Channel.connect(
+            self.env, self.cluster.network, self.name, beacon.manager_id)
+        if not self.alive:
+            channel.close()
+            return
+        registration = RegisterFrontEnd(
+            frontend_name=self.name,
+            node_name=self.node.name,
+            frontend=self,
+        )
+        if beacon.manager.accept_frontend(registration, channel.b):
+            if self._manager_endpoint is not None:
+                self._manager_endpoint.channel.close()
+            self._manager_endpoint = channel.a
+        else:
+            channel.close()
+
+    def _heartbeat_loop(self):
+        while True:
+            yield self.env.timeout(self.config.report_interval_s)
+            endpoint = self._manager_endpoint
+            if endpoint is None:
+                continue
+            try:
+                endpoint.send({"heartbeat": self.name,
+                               "active": self.active_requests},
+                              size_bytes=REPORT_BYTES)
+            except ChannelClosed:
+                self._manager_endpoint = None
+
+    def _manager_watchdog(self):
+        """Process-peer duty: restart the manager when its beacons stop.
+
+        "The front end detects and restarts a crashed manager."
+        """
+        tolerance_s = (self.config.beacon_loss_tolerance
+                       * self.config.beacon_interval_s)
+        while True:
+            yield self.env.timeout(self.config.beacon_interval_s)
+            if self.stub.last_beacon_at is None:
+                continue  # never heard one; the fabric boots the first
+            if self.stub.beacon_age() > tolerance_s:
+                self.fabric.restart_manager(requested_by=self.name)
+                # give the new manager a chance to start beaconing
+                yield self.env.timeout(tolerance_s)
+
+    # -- crash ------------------------------------------------------------------------------
+
+    def _on_crash(self) -> None:
+        if self._manager_endpoint is not None:
+            self._manager_endpoint.channel.close()
+            self._manager_endpoint = None

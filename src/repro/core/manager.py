@@ -1,0 +1,387 @@
+"""The centralized, fault-tolerant load-balancing manager.
+
+"For internal load balancing, TranSend uses a centralized manager whose
+responsibilities include tracking the location of distillers, spawning
+new distillers on demand, balancing load across distillers of the same
+class, and providing the assurance of fault tolerance and system tuning"
+(Section 3.1.2).
+
+Everything the manager knows is **soft state** (Section 3.1.3):
+
+* workers register over a connection they open after hearing the
+  manager's multicast beacon; a broken connection *is* the failure
+  detector;
+* load views are exponentially-weighted moving averages of the stubs'
+  periodic queue-length reports; report silence beyond
+  ``worker_timeout_s`` is the backup failure detector;
+* the beacon the manager multicasts every ``beacon_interval_s`` carries
+  its identity, incarnation, and per-worker load hints — everything a
+  front end needs, so a freshly restarted manager reconstructs the whole
+  picture from re-registrations within a beacon period or two, with no
+  crash-recovery protocol at all.
+
+Spawning implements Section 4.5's policy: when a worker class's average
+queue length crosses the threshold *H*, spawn a new worker of that class
+on an unused node (recruiting the overflow pool when the dedicated pool
+is exhausted), then disable spawning for *D* seconds to let the system
+stabilize.  Reaping releases workers — overflow nodes first — when load
+subsides.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.core.component import Component
+from repro.core.config import SNSConfig
+from repro.core.messages import (
+    BEACON_BYTES,
+    BEACON_GROUP,
+    MONITOR_GROUP,
+    LoadReport,
+    ManagerBeacon,
+    MonitorReport,
+    RegisterFrontEnd,
+    RegisterWorker,
+    WorkerAdvert,
+)
+from repro.sim.cluster import Cluster
+from repro.sim.node import Node
+from repro.sim.transport import ChannelClosed, Endpoint
+
+#: Seconds to fork+exec+initialize a worker process on a node.
+SPAWN_DELAY_S = 1.0
+
+
+class WorkerInfo:
+    """Manager-side soft state about one registered worker."""
+
+    def __init__(self, registration: RegisterWorker, endpoint: Endpoint,
+                 now: float) -> None:
+        self.name = registration.worker_name
+        self.worker_type = registration.worker_type
+        self.node_name = registration.node_name
+        self.stub = registration.stub
+        self.endpoint = endpoint
+        self.queue_avg = 0.0
+        self.last_queue = 0
+        self.last_report_at = now
+        self.registered_at = now
+
+    def update(self, report: LoadReport, alpha: float,
+               load_metric: str = "queue") -> None:
+        value = (report.weighted_load if load_metric == "weighted-cost"
+                 else report.queue_length)
+        self.queue_avg = alpha * value + (1.0 - alpha) * self.queue_avg
+        self.last_queue = report.queue_length
+        self.last_report_at = report.sent_at
+
+
+class FrontEndInfo:
+    """Manager-side soft state about one registered front end."""
+
+    def __init__(self, registration: RegisterFrontEnd,
+                 endpoint: Endpoint, now: float) -> None:
+        self.name = registration.frontend_name
+        self.node_name = registration.node_name
+        self.frontend = registration.frontend
+        self.endpoint = endpoint
+        self.last_heartbeat_at = now
+
+
+class Manager(Component):
+    """Tracks workers, balances load, spawns/reaps, restarts front ends."""
+
+    kind = "manager"
+
+    def __init__(self, cluster: Cluster, node: Node, name: str,
+                 config: SNSConfig, fabric: Any, incarnation: int) -> None:
+        super().__init__(cluster, node, name)
+        self.config = config
+        self.fabric = fabric
+        self.incarnation = incarnation
+        self.workers: Dict[str, WorkerInfo] = {}
+        self.frontends: Dict[str, FrontEndInfo] = {}
+        self._last_spawn_at: Dict[str, float] = {}
+        self._low_load_since: Dict[str, Optional[float]] = {}
+        self._spawns_in_flight: Dict[str, int] = {}
+        # counters for reporting
+        self.beacons_sent = 0
+        self.reports_received = 0
+        self.spawns = 0
+        self.spawn_failures = 0
+        self.reaps = 0
+        self.worker_failures_detected = 0
+        self.frontend_restarts = 0
+
+    # -- processes ------------------------------------------------------------
+
+    def _start_processes(self) -> None:
+        self.spawn(self._beacon_loop())
+        self.spawn(self._policy_loop())
+
+    def _beacon_loop(self):
+        group = self.cluster.multicast.group(BEACON_GROUP)
+        monitor_group = self.cluster.multicast.group(MONITOR_GROUP)
+        while True:
+            beacon = ManagerBeacon(
+                manager_id=self.name,
+                incarnation=self.incarnation,
+                manager=self,
+                sent_at=self.env.now,
+                adverts=self._build_adverts(),
+            )
+            group.publish(beacon, size_bytes=BEACON_BYTES, sender=self.name)
+            monitor_group.publish(MonitorReport(
+                component=self.name,
+                kind="manager",
+                sent_at=self.env.now,
+                payload={
+                    "workers": len(self.workers),
+                    "frontends": len(self.frontends),
+                    "incarnation": self.incarnation,
+                },
+            ), sender=self.name)
+            self.beacons_sent += 1
+            yield self.env.timeout(self.config.beacon_interval_s)
+
+    def _build_adverts(self) -> Dict[str, WorkerAdvert]:
+        return {
+            info.name: WorkerAdvert(
+                worker_name=info.name,
+                worker_type=info.worker_type,
+                node_name=info.node_name,
+                stub=info.stub,
+                queue_avg=info.queue_avg,
+                last_report_at=info.last_report_at,
+            )
+            for info in self.workers.values()
+        }
+
+    def _policy_loop(self):
+        while True:
+            yield self.env.timeout(self.config.beacon_interval_s)
+            self._expire_silent_workers()
+            self._spawn_check()
+            self._reap_check()
+
+    # -- registration and report intake -------------------------------------------
+
+    def accept_worker(self, registration: RegisterWorker,
+                      endpoint: Endpoint) -> bool:
+        """Called (over the network) by a worker stub's register path."""
+        if not self.alive:
+            return False
+        info = WorkerInfo(registration, endpoint, self.env.now)
+        self.workers[info.name] = info
+        self._spawns_in_flight[info.worker_type] = max(
+            0, self._spawns_in_flight.get(info.worker_type, 0) - 1)
+        self.spawn(self._worker_recv_loop(info))
+        return True
+
+    def accept_frontend(self, registration: RegisterFrontEnd,
+                        endpoint: Endpoint) -> bool:
+        if not self.alive:
+            return False
+        info = FrontEndInfo(registration, endpoint, self.env.now)
+        self.frontends[info.name] = info
+        self.spawn(self._frontend_recv_loop(info))
+        return True
+
+    def _worker_recv_loop(self, info: WorkerInfo):
+        while True:
+            try:
+                report = yield info.endpoint.recv()
+            except ChannelClosed:
+                self._worker_died(info)
+                return
+            if isinstance(report, LoadReport):
+                self.reports_received += 1
+                info.update(report, self.config.load_ewma_alpha,
+                            self.config.load_metric)
+
+    def _frontend_recv_loop(self, info: FrontEndInfo):
+        while True:
+            try:
+                heartbeat = yield info.endpoint.recv()
+            except ChannelClosed:
+                self._frontend_died(info)
+                return
+            info.last_heartbeat_at = self.env.now
+
+    # -- failure handling -----------------------------------------------------------
+
+    def _worker_died(self, info: WorkerInfo) -> None:
+        """A worker's connection broke: remove it and react to the load
+        shift immediately (Figure 8(b): 'The manager immediately reacted
+        and started up a new distiller')."""
+        if self.workers.get(info.name) is not info:
+            return
+        del self.workers[info.name]
+        self.worker_failures_detected += 1
+        if self.alive:
+            self._spawn_check()
+
+    def _expire_silent_workers(self) -> None:
+        """Timeouts as the backup failure detector (Section 2.2.4)."""
+        deadline = self.env.now - self.config.worker_timeout_s
+        for info in list(self.workers.values()):
+            if info.last_report_at < deadline:
+                if info.endpoint is not None:
+                    info.endpoint.channel.close()
+                if info.name in self.workers:
+                    del self.workers[info.name]
+                    self.worker_failures_detected += 1
+
+    def _frontend_died(self, info: FrontEndInfo) -> None:
+        """Process-peer duty: 'The manager detects and restarts a
+        crashed front end.'"""
+        if self.frontends.get(info.name) is not info:
+            return
+        del self.frontends[info.name]
+        if self.alive:
+            self.frontend_restarts += 1
+            self.fabric.restart_frontend(info.name, info.node_name)
+
+    # -- locate / on-demand spawn -----------------------------------------------------
+
+    def workers_of_type(self, worker_type: str) -> List[WorkerInfo]:
+        return [info for info in self.workers.values()
+                if info.worker_type == worker_type]
+
+    def request_worker(self, worker_type: str) -> Optional[WorkerAdvert]:
+        """A manager stub asks for a worker of a type it has no hint for.
+
+        Returns the least-loaded worker, or None after initiating an
+        on-demand spawn ("the manager ... locates an appropriate
+        distiller, spawning a new one if necessary") — the caller waits
+        for a beacon and retries.
+        """
+        if not self.alive:
+            return None
+        candidates = self.workers_of_type(worker_type)
+        if candidates:
+            best = min(candidates, key=lambda info: info.queue_avg)
+            return WorkerAdvert(
+                worker_name=best.name,
+                worker_type=best.worker_type,
+                node_name=best.node_name,
+                stub=best.stub,
+                queue_avg=best.queue_avg,
+                last_report_at=best.last_report_at,
+            )
+        if self._spawns_in_flight.get(worker_type, 0) == 0:
+            self._spawn_worker(worker_type)
+        return None
+
+    # -- spawn / reap policy --------------------------------------------------------------
+
+    def _average_queue(self, worker_type: str) -> Optional[float]:
+        infos = self.workers_of_type(worker_type)
+        if not infos:
+            return None
+        return sum(info.queue_avg for info in infos) / len(infos)
+
+    def _known_types(self) -> List[str]:
+        return sorted({info.worker_type for info in self.workers.values()})
+
+    def _spawn_check(self) -> None:
+        for worker_type in self._known_types():
+            average = self._average_queue(worker_type)
+            if average is None or average < self.config.spawn_threshold:
+                continue
+            last = self._last_spawn_at.get(worker_type)
+            if last is not None and \
+                    self.env.now - last < self.config.spawn_damping_s:
+                continue
+            if self._spawns_in_flight.get(worker_type, 0) > 0:
+                continue
+            self._spawn_worker(worker_type)
+
+    def _spawn_worker(self, worker_type: str) -> bool:
+        node = self.cluster.free_node(
+            include_overflow=self.config.use_overflow_pool)
+        if node is None:
+            node = self._node_with_headroom()
+            if node is None:
+                return False
+        self._last_spawn_at[worker_type] = self.env.now
+        self._spawns_in_flight[worker_type] = \
+            self._spawns_in_flight.get(worker_type, 0) + 1
+        self.spawns += 1
+        self.spawn(self._spawn_after_delay(worker_type, node))
+        return True
+
+    def _node_with_headroom(self) -> Optional[Node]:
+        """Fallback placement when no node is completely free: co-locate
+        on the least-loaded up node (but never on the manager's own)."""
+        candidates = [
+            node for node in self.cluster.dedicated_nodes
+            if node.up and node is not self.node
+        ]
+        if self.config.use_overflow_pool:
+            candidates += [n for n in self.cluster.overflow_nodes if n.up]
+        if not candidates:
+            return None
+        return min(candidates, key=lambda n: len(n.components))
+
+    def _spawn_after_delay(self, worker_type: str, node: Node):
+        yield self.env.timeout(SPAWN_DELAY_S)
+        if not self.alive or not node.up:
+            self._spawns_in_flight[worker_type] = max(
+                0, self._spawns_in_flight.get(worker_type, 0) - 1)
+            return
+        try:
+            self.fabric.spawn_worker(worker_type, node)
+        except Exception:
+            # exec failure (missing binary, bad node): give up on this
+            # attempt; the policy loop will retry if load persists.
+            self._spawns_in_flight[worker_type] = max(
+                0, self._spawns_in_flight.get(worker_type, 0) - 1)
+            self.spawn_failures += 1
+
+    def _reap_check(self) -> None:
+        for worker_type in self._known_types():
+            infos = self.workers_of_type(worker_type)
+            if len(infos) <= self.config.min_workers_per_type:
+                self._low_load_since[worker_type] = None
+                continue
+            average = self._average_queue(worker_type)
+            if average is None or average > self.config.reap_threshold:
+                self._low_load_since[worker_type] = None
+                continue
+            since = self._low_load_since.get(worker_type)
+            if since is None:
+                self._low_load_since[worker_type] = self.env.now
+                continue
+            if self.env.now - since < self.config.reap_after_s:
+                continue
+            self._reap_one(infos)
+            self._low_load_since[worker_type] = None
+
+    def _reap_one(self, infos: List[WorkerInfo]) -> None:
+        """Release the emptiest worker, preferring overflow nodes
+        ("Once the burst subsides, the distillers may be reaped")."""
+        def preference(info: WorkerInfo):
+            node = self.cluster.nodes.get(info.node_name)
+            on_overflow = bool(node and node.overflow)
+            return (not on_overflow, info.queue_avg)
+
+        victim = min(infos, key=preference)
+        self.reaps += 1
+        if victim.endpoint is not None:
+            victim.endpoint.channel.close()
+        self.workers.pop(victim.name, None)
+        if victim.stub is not None:
+            victim.stub.kill()
+
+    # -- crash ------------------------------------------------------------------------------
+
+    def _on_crash(self) -> None:
+        for info in self.workers.values():
+            if info.endpoint is not None:
+                info.endpoint.channel.close()
+        for info in self.frontends.values():
+            info.endpoint.channel.close()
+        self.workers.clear()
+        self.frontends.clear()

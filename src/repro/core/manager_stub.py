@@ -1,0 +1,235 @@
+"""The manager stub: load-balancing hints cached at each front end.
+
+"The manager stub (at the front end) caches the information in these
+beacons and uses lottery scheduling to select a distiller for each
+request.  The cached information provides a backup so that the system can
+continue to operate (using slightly stale load data) even if the manager
+crashes" (Section 3.1.2).
+
+The stub also carries the Section 4.5 oscillation fix: "we changed the
+manager stub to keep a running estimate of the change in distiller queue
+lengths between successive reports; these estimates were sufficient to
+eliminate the oscillations."  :class:`AdvertState` holds that estimate —
+a per-worker queue slope extrapolated between beacons, plus a count of
+requests this front end itself dispatched since the last report.  Both
+corrections are gated by ``config.estimate_queue_deltas`` so the
+benchmark suite can reproduce the oscillation as an ablation.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.core.config import SNSConfig
+from repro.core.messages import ManagerBeacon, WorkEnvelope, WorkerAdvert
+from repro.sim.cluster import Cluster
+from repro.sim.rng import Stream
+from repro.tacc.worker import WorkerError
+
+
+class DispatchError(Exception):
+    """No worker could serve the request within the dispatch budget.
+
+    The front end catches this and falls back in a service-specific way
+    (TranSend returns the original content — BASE approximate answers).
+    """
+
+
+class AdvertState:
+    """The stub's (stale) view of one worker, with delta estimation."""
+
+    def __init__(self, advert: WorkerAdvert, now: float) -> None:
+        self.advert = advert
+        self.queue_avg = advert.queue_avg
+        self.received_at = now
+        self.prev_queue_avg: Optional[float] = None
+        self.prev_received_at: Optional[float] = None
+        self.sent_since_report = 0
+
+    def refresh(self, advert: WorkerAdvert, now: float) -> None:
+        if advert.last_report_at != self.advert.last_report_at:
+            # a genuinely newer load sample
+            self.prev_queue_avg = self.queue_avg
+            self.prev_received_at = self.received_at
+            self.queue_avg = advert.queue_avg
+            self.received_at = now
+            self.sent_since_report = 0
+        self.advert = advert
+
+    def effective_queue(self, now: float, estimate_deltas: bool) -> float:
+        """The queue length the lottery should believe right now."""
+        value = self.queue_avg
+        if estimate_deltas:
+            if (self.prev_received_at is not None
+                    and self.received_at > self.prev_received_at):
+                slope = ((self.queue_avg - self.prev_queue_avg)
+                         / (self.received_at - self.prev_received_at))
+                value += slope * (now - self.received_at)
+            value += self.sent_since_report
+        return max(0.0, value)
+
+
+class ManagerStub:
+    """Beacon cache + lottery scheduler + dispatch engine."""
+
+    def __init__(self, cluster: Cluster, config: SNSConfig, owner_name: str,
+                 rng: Stream) -> None:
+        self.cluster = cluster
+        self.config = config
+        self.owner_name = owner_name
+        self.rng = rng
+        self.manager: Optional[Any] = None
+        self.manager_incarnation: Optional[int] = None
+        self.last_beacon_at: Optional[float] = None
+        self.adverts: Dict[str, AdvertState] = {}
+        self._next_request_id = 0
+        # counters
+        self.dispatches = 0
+        self.retries = 0
+        self.timeouts = 0
+        self.worker_errors = 0
+
+    # -- beacon intake -----------------------------------------------------------
+
+    def observe_beacon(self, beacon: ManagerBeacon) -> bool:
+        """Update caches from a manager beacon; returns True when this is
+        a new manager incarnation (the front end must re-register)."""
+        now = self.cluster.env.now
+        self.last_beacon_at = now
+        new_incarnation = beacon.incarnation != self.manager_incarnation
+        self.manager = beacon.manager
+        self.manager_incarnation = beacon.incarnation
+        if self.config.balancing == "distributed":
+            # balancing state comes from the workers' own announcements;
+            # the beacon is only manager discovery here
+            return new_incarnation
+        # "The manager reports distiller failures to the manager stubs,
+        # which update their caches of where distillers are running."
+        for name in list(self.adverts):
+            if name not in beacon.adverts:
+                del self.adverts[name]
+        for name, advert in beacon.adverts.items():
+            if name in self.adverts:
+                self.adverts[name].refresh(advert, now)
+            else:
+                self.adverts[name] = AdvertState(advert, now)
+        return new_incarnation
+
+    def observe_worker_advert(self, advert: WorkerAdvert) -> None:
+        """Distributed-mode intake: one worker's self-announcement."""
+        now = self.cluster.env.now
+        name = advert.worker_name
+        if name in self.adverts:
+            self.adverts[name].refresh(advert, now)
+        else:
+            self.adverts[name] = AdvertState(advert, now)
+
+    def beacon_age(self) -> float:
+        if self.last_beacon_at is None:
+            return float("inf")
+        return self.cluster.env.now - self.last_beacon_at
+
+    # -- worker selection -----------------------------------------------------------
+
+    def candidates(self, worker_type: str) -> List[AdvertState]:
+        if self.config.balancing == "distributed":
+            # nobody curates the cache for us: expire silent workers
+            deadline = self.cluster.env.now - self.config.worker_timeout_s
+            for name in list(self.adverts):
+                if self.adverts[name].received_at < deadline:
+                    del self.adverts[name]
+        return [state for state in self.adverts.values()
+                if state.advert.worker_type == worker_type]
+
+    def pick(self, worker_type: str) -> Optional[AdvertState]:
+        """Lottery scheduling over the cached (possibly stale) hints."""
+        candidates = self.candidates(worker_type)
+        if not candidates:
+            return None
+        now = self.cluster.env.now
+        weights = [
+            1.0 / (1.0 + state.effective_queue(
+                now, self.config.estimate_queue_deltas))
+            ** self.config.lottery_gamma
+            for state in candidates
+        ]
+        return self.rng.weighted_choice(candidates, weights)
+
+    # -- dispatch -------------------------------------------------------------------------
+
+    def dispatch(self, tacc_request: Any, worker_type: str,
+                 input_bytes: int, expected_cost_s: float = 0.0):
+        """Process generator: route one request to a worker of the type.
+
+        Retries with fresh lottery draws on refusal or timeout; asks the
+        manager (spawning on demand) when no hint exists.  Raises
+        :class:`DispatchError` when the budget is exhausted, or the
+        worker's own :class:`WorkerError` for pathological input (which
+        would fail anywhere — no point retrying).
+        """
+        env = self.cluster.env
+        self.dispatches += 1
+        for attempt in range(self.config.dispatch_attempts):
+            state = self.pick(worker_type)
+            if state is None:
+                state = yield from self._wait_for_worker(worker_type)
+                if state is None:
+                    raise DispatchError(
+                        f"no {worker_type!r} worker available")
+            if attempt > 0:
+                self.retries += 1
+            self._next_request_id += 1
+            envelope = WorkEnvelope(
+                request_id=self._next_request_id,
+                tacc_request=tacc_request,
+                reply=env.event(),
+                submitted_at=env.now,
+                input_bytes=input_bytes,
+                expected_cost_s=expected_cost_s,
+            )
+            # ship the input across the SAN
+            yield env.timeout(
+                self.cluster.network.transfer_delay(input_bytes))
+            if not state.advert.stub.submit(envelope):
+                # queue full: connection refused, try another worker now
+                self.adverts.pop(state.advert.worker_name, None)
+                continue
+            state.sent_since_report += 1
+            timer = env.timeout(self.config.dispatch_timeout_s)
+            try:
+                outcome = yield env.any_of([envelope.reply, timer])
+            except WorkerError as error:
+                self.worker_errors += 1
+                raise
+            if envelope.reply in outcome:
+                return outcome[envelope.reply]
+            # "if a request is sent to a worker that no longer exists,
+            # the request will time out and another worker will be
+            # chosen."
+            self.timeouts += 1
+            self.adverts.pop(state.advert.worker_name, None)
+        raise DispatchError(
+            f"dispatch budget exhausted for {worker_type!r}")
+
+    def _wait_for_worker(self, worker_type: str):
+        """No cached hint: ask the manager (triggering an on-demand
+        spawn) and poll until an advert appears or the budget runs out."""
+        env = self.cluster.env
+        deadline = env.now + self.config.dispatch_timeout_s
+        while env.now < deadline:
+            manager = self.manager
+            if manager is not None:
+                advert = manager.request_worker(worker_type)
+                if advert is not None:
+                    now = env.now
+                    name = advert.worker_name
+                    if name in self.adverts:
+                        self.adverts[name].refresh(advert, now)
+                    else:
+                        self.adverts[name] = AdvertState(advert, now)
+                    return self.adverts[name]
+            yield env.timeout(self.config.beacon_interval_s)
+            state = self.pick(worker_type)
+            if state is not None:
+                return state
+        return None

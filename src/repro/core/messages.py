@@ -1,0 +1,130 @@
+"""SNS protocol messages.
+
+All coordination state in the SNS layer is *soft*: it lives in these
+messages and in caches of them, never on disk.  Beacons and load reports
+are periodically refreshed, so any component can crash and rebuild its
+view "typically by listening to multicasts from other components"
+(Section 2.2.4).
+
+Because this is an in-process simulation, messages carry direct object
+references (e.g. a worker stub) where a real deployment would carry
+host:port addresses; the *timing* of every message still crosses the
+simulated SAN.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+#: Well-known multicast group names (the "level of indirection" that
+#: relieves components of having to locate each other, Section 3.1.2).
+BEACON_GROUP = "sns.manager.beacons"
+MONITOR_GROUP = "sns.monitor.reports"
+#: used only by the *distributed* balancing ablation (Section 2.2.2):
+#: workers announce their own load to every front end, manager-free.
+WORKER_ANNOUNCE_GROUP = "sns.worker.announcements"
+
+#: Nominal wire sizes (bytes) used for SAN accounting.
+BEACON_BYTES = 512
+REPORT_BYTES = 96
+REGISTER_BYTES = 160
+
+
+@dataclass
+class LoadReport:
+    """Periodic worker -> manager load announcement.
+
+    "Distiller load is characterized in terms of the queue length at the
+    distiller, optionally weighted by the expected cost of distilling
+    each item" (Section 3.1.2, footnote 2).
+    """
+
+    worker_name: str
+    worker_type: str
+    node_name: str
+    queue_length: int
+    weighted_load: float
+    sent_at: float
+
+
+@dataclass
+class WorkerAdvert:
+    """One worker's entry in a manager beacon: location plus the
+    manager's smoothed view of its load."""
+
+    worker_name: str
+    worker_type: str
+    node_name: str
+    stub: Any
+    queue_avg: float
+    last_report_at: float
+
+
+@dataclass
+class ManagerBeacon:
+    """Manager's periodic multicast: existence + load-balancing hints.
+
+    ``incarnation`` distinguishes a restarted manager from the one that
+    crashed, so workers know to re-register.
+    """
+
+    manager_id: str
+    incarnation: int
+    manager: Any
+    sent_at: float
+    adverts: Dict[str, WorkerAdvert] = field(default_factory=dict)
+
+    def adverts_of_type(self, worker_type: str) -> Dict[str, WorkerAdvert]:
+        return {
+            name: advert for name, advert in self.adverts.items()
+            if advert.worker_type == worker_type
+        }
+
+
+@dataclass
+class RegisterWorker:
+    """Worker -> manager registration (on startup or new-manager beacon)."""
+
+    worker_name: str
+    worker_type: str
+    node_name: str
+    stub: Any
+
+
+@dataclass
+class RegisterFrontEnd:
+    """Front end -> manager registration, recruiting the manager as the
+    front end's process peer."""
+
+    frontend_name: str
+    node_name: str
+    frontend: Any
+
+
+@dataclass
+class MonitorReport:
+    """Component -> monitor state report (multicast, best-effort)."""
+
+    component: str
+    kind: str
+    sent_at: float
+    payload: Dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class WorkEnvelope:
+    """One request handed to a worker stub.
+
+    ``reply`` is succeeded with the worker's result Content or failed
+    with the worker's error; the sender guards it with a timeout (stale
+    hints may route to a dead worker — "the request will time out and
+    another worker will be chosen").
+    """
+
+    request_id: int
+    tacc_request: Any
+    reply: Any
+    submitted_at: float
+    input_bytes: int
+    expected_cost_s: float = 0.0

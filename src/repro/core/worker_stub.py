@@ -1,0 +1,277 @@
+"""The worker stub: the SNS side of every worker process.
+
+"The worker stub hides fault tolerance, load balancing, and
+multithreading considerations from the worker code" (Section 2.2.5).
+Concretely, the stub:
+
+* accepts and queues requests on behalf of the worker;
+* runs the worker over each request, charging the host node's CPU with
+  the worker's (noisy) cost model;
+* reports its queue length to the manager every ``report_interval_s``
+  ("the worker stub ... periodically reports load information to the
+  manager");
+* discovers the manager by listening to its multicast beacons and
+  (re-)registers whenever a new manager incarnation appears — this is
+  the soft-state re-registration that makes manager crash recovery free
+  (Section 3.1.3);
+* reports detectable failures in its own operation: a request the
+  worker dies on fails that request only, never the stub ("worker code
+  ... can, in fact, crash without taking the system down").
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.core.component import Component
+from repro.core.config import SNSConfig
+from repro.core.messages import (
+    BEACON_GROUP,
+    REGISTER_BYTES,
+    REPORT_BYTES,
+    LoadReport,
+    ManagerBeacon,
+    RegisterWorker,
+    WorkEnvelope,
+)
+from repro.sim.cluster import Cluster
+from repro.sim.kernel import QueueFull
+from repro.sim.node import Node, NodeDown
+from repro.sim.transport import Channel, ChannelClosed
+from repro.tacc.worker import Worker, WorkerError
+
+
+class WorkerStub(Component):
+    """Hosts one stateless worker instance on a node."""
+
+    kind = "worker"
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        node: Node,
+        name: str,
+        worker: Worker,
+        config: SNSConfig,
+        execute_real: bool = False,
+        on_overflow_node: bool = False,
+    ) -> None:
+        super().__init__(cluster, node, name)
+        self.worker = worker
+        self.config = config
+        self.execute_real = execute_real
+        self.on_overflow_node = on_overflow_node
+        self.rng = cluster.streams.stream(f"worker:{name}")
+        self.queue = cluster.env.queue(config.worker_queue_capacity)
+        self.busy = False
+        self._in_service_cost_s = 0.0
+        self._manager_endpoint = None
+        self._registered_incarnation: Optional[int] = None
+        # counters
+        self.served = 0
+        self.failed = 0
+        self.refused = 0
+
+    @property
+    def worker_type(self) -> str:
+        return self.worker.worker_type
+
+    @property
+    def load(self) -> int:
+        """Instantaneous queue length including the in-service request —
+        the paper's load metric."""
+        return self.queue.length + (1 if self.busy else 0)
+
+    # -- submission (called by manager stubs at front ends) ----------------------
+
+    def submit(self, envelope: WorkEnvelope) -> bool:
+        """Accept a request onto the stub's queue.
+
+        Returns False when the queue is full (connection refused).  A
+        *dead* stub silently swallows the request — packets to a crashed
+        process get no answer, and the sender's timeout is the only
+        detector, exactly as in the paper's stale-hint scenario.
+        """
+        if not self.alive or self.is_partitioned:
+            return True  # swallowed; caller's timeout will fire
+        if not self.queue.try_put(envelope):
+            self.refused += 1
+            return False
+        return True
+
+    # -- processes ------------------------------------------------------------------
+
+    def _start_processes(self) -> None:
+        self.spawn(self._service_loop())
+        self.spawn(self._report_loop())
+        self.spawn(self._beacon_listener())
+
+    def _service_loop(self):
+        while True:
+            envelope: WorkEnvelope = yield self.queue.get()
+            self.busy = True
+            self._in_service_cost_s = envelope.expected_cost_s or 0.0
+            try:
+                work = self._work_sample(envelope)
+                yield from self.node.compute(work)
+                result = self._execute(envelope)
+            except WorkerError as error:
+                # a *reported* failure: this request only
+                self.failed += 1
+                if not envelope.reply.triggered:
+                    envelope.reply.fail(error)
+                continue
+            except NodeDown:
+                return  # host died under us
+            except Exception:
+                # an *unreported* bug in worker code: the worker process
+                # segfaults.  "Worker code ... can, in fact, crash
+                # without taking the system down" — the stub dies with
+                # it, the manager sees the broken connection, and the
+                # SNS layer carries on.  The in-flight request is lost
+                # (the sender's timeout covers it).
+                self.failed += 1
+                self.busy = False
+                self.kill()
+                return
+            finally:
+                self.busy = False
+            self.served += 1
+            self.spawn(self._deliver(envelope, result))
+
+    def _work_sample(self, envelope: WorkEnvelope) -> float:
+        sampler = getattr(self.worker, "work_sample", None)
+        if sampler is not None:
+            return sampler(self.rng, envelope.tacc_request)
+        return self.worker.work_estimate(envelope.tacc_request)
+
+    def _execute(self, envelope: WorkEnvelope):
+        if self.execute_real:
+            return self.worker.run(envelope.tacc_request)
+        return self.worker.simulate(envelope.tacc_request)
+
+    def _deliver(self, envelope: WorkEnvelope, result) -> None:
+        """Ship the result back across the SAN, then complete the reply."""
+        delay = self.cluster.network.transfer_delay(result.size)
+        yield self.env.timeout(delay)
+        if self.alive and not envelope.reply.triggered:
+            envelope.reply.succeed(result)
+
+    def _report_loop(self):
+        announce_group = None
+        if self.config.balancing == "distributed":
+            from repro.core.messages import WORKER_ANNOUNCE_GROUP
+            announce_group = self.cluster.multicast.group(
+                WORKER_ANNOUNCE_GROUP)
+        while True:
+            yield self.env.timeout(self.config.report_interval_s)
+            report = LoadReport(
+                worker_name=self.name,
+                worker_type=self.worker_type,
+                node_name=self.node.name,
+                queue_length=self.load,
+                weighted_load=self._weighted_load(),
+                sent_at=self.env.now,
+            )
+            if announce_group is not None and not self.is_partitioned:
+                # distributed mode: shout the load at every front end
+                from repro.core.messages import WorkerAdvert
+                announce_group.publish(WorkerAdvert(
+                    worker_name=self.name,
+                    worker_type=self.worker_type,
+                    node_name=self.node.name,
+                    stub=self,
+                    queue_avg=float(self.load),
+                    last_report_at=self.env.now,
+                ), size_bytes=REPORT_BYTES, sender=self.name)
+            endpoint = self._manager_endpoint
+            if endpoint is None:
+                continue
+            try:
+                endpoint.send(report, size_bytes=REPORT_BYTES)
+            except ChannelClosed:
+                self._manager_endpoint = None
+                self._registered_incarnation = None
+
+    def _weighted_load(self) -> float:
+        """Seconds of queued work: each item weighted by its expected
+        cost, plus the in-service item (footnote 2 of Section 3.1.2)."""
+        total = self._in_service_cost_s if self.busy else 0.0
+        for envelope in self.queue._items:
+            total += envelope.expected_cost_s or 0.0
+        return total
+
+    def partition(self, duration_s: float) -> None:
+        """Cut this worker off the SAN for ``duration_s`` (a network
+        partition, Section 2.2.4).
+
+        The worker stays alive but unreachable: its manager connection
+        breaks (the manager will treat it as lost and may respawn its
+        class "on still-visible nodes") and it hears no beacons until
+        the partition heals — at which point the ordinary soft-state
+        machinery re-registers it as if nothing happened.
+        """
+        if not self.alive:
+            return
+        self._partitioned_until = max(
+            getattr(self, "_partitioned_until", 0.0),
+            self.env.now + duration_s)
+        if self._manager_endpoint is not None:
+            self._manager_endpoint.channel.close()
+            self._manager_endpoint = None
+        self._registered_incarnation = None
+
+    @property
+    def is_partitioned(self) -> bool:
+        return self.env.now < getattr(self, "_partitioned_until", 0.0)
+
+    def _beacon_listener(self):
+        subscription = self.cluster.multicast.group(BEACON_GROUP).subscribe(
+            self.name)
+        try:
+            while True:
+                beacon: ManagerBeacon = yield subscription.get()
+                if self.is_partitioned:
+                    continue  # datagrams do not cross the partition
+                if beacon.incarnation == self._registered_incarnation:
+                    continue
+                yield from self._register(beacon)
+        finally:
+            subscription.cancel()
+
+    def _register(self, beacon: ManagerBeacon):
+        """Open a connection to the (new) manager and register.
+
+        "When a distiller starts up, it registers itself with the
+        manager, whose existence it discovers by subscribing to a
+        well-known multicast channel."
+        """
+        channel = yield from Channel.connect(
+            self.env, self.cluster.network, self.name, beacon.manager_id)
+        if not self.alive:
+            channel.close()
+            return
+        registration = RegisterWorker(
+            worker_name=self.name,
+            worker_type=self.worker_type,
+            node_name=self.node.name,
+            stub=self,
+        )
+        # The connect above paid the network round trip; the synchronous
+        # accept stands in for the registration message itself.
+        accepted = beacon.manager.accept_worker(registration, channel.b)
+        if not accepted:
+            channel.close()
+            return
+        self._manager_endpoint = channel.a
+        self._registered_incarnation = beacon.incarnation
+
+    # -- crash ---------------------------------------------------------------------------
+
+    def _on_crash(self) -> None:
+        if self._manager_endpoint is not None:
+            self._manager_endpoint.channel.close()
+            self._manager_endpoint = None
+        self._registered_incarnation = None
+        self.queue.clear()
+        self.busy = False

@@ -1,0 +1,97 @@
+"""Experiment drivers: one module per paper table or figure.
+
+Each driver is a parameterized function returning a structured result
+object with a ``render()`` method that prints the paper's shape (rows of
+Table 2, the Figure 5 histogram, Figure 8 queue-length series, ...).
+DESIGN.md section 4 is the index mapping each experiment to its driver
+and its benchmark; EXPERIMENTS.md records paper-claimed vs measured
+values from a full run.
+
+Drivers accept scale knobs so the same code serves quick unit tests and
+full benchmark runs.
+"""
+
+from repro.experiments.figure5_sizes import Figure5Result, run_figure5
+from repro.experiments.figure6_burstiness import (
+    Figure6Result,
+    run_figure6,
+)
+from repro.experiments.figure7_distiller import (
+    Figure7Result,
+    run_figure7,
+)
+from repro.experiments.figure8_selftuning import (
+    Figure8Result,
+    run_figure8,
+)
+from repro.experiments.table1_comparison import run_table1
+from repro.experiments.table2_scalability import (
+    Table2Result,
+    run_table2,
+)
+from repro.experiments.cache_hitrate import (
+    CacheStudyResult,
+    run_cache_size_sweep,
+    run_population_sweep,
+)
+from repro.experiments.manager_capacity import (
+    ManagerCapacityResult,
+    run_manager_capacity,
+)
+from repro.experiments.san_saturation import (
+    SanSaturationResult,
+    run_san_saturation,
+)
+from repro.experiments.fault_timeline import (
+    FaultTimelineResult,
+    run_fault_timeline,
+)
+from repro.experiments.frontend_state import (
+    FrontEndStateResult,
+    run_frontend_state,
+)
+from repro.experiments.hotbot_degradation import (
+    HotBotDegradationResult,
+    run_hotbot_degradation,
+)
+from repro.experiments.hotbot_throughput import (
+    HotBotThroughputResult,
+    run_hotbot_throughput,
+)
+from repro.experiments.economics import run_economics
+from repro.experiments.endtoend_latency import (
+    EndToEndResult,
+    run_endtoend,
+)
+
+__all__ = [
+    "CacheStudyResult",
+    "EndToEndResult",
+    "FaultTimelineResult",
+    "Figure5Result",
+    "Figure6Result",
+    "Figure7Result",
+    "Figure8Result",
+    "FrontEndStateResult",
+    "HotBotDegradationResult",
+    "HotBotThroughputResult",
+    "ManagerCapacityResult",
+    "SanSaturationResult",
+    "Table2Result",
+    "run_cache_size_sweep",
+    "run_economics",
+    "run_endtoend",
+    "run_fault_timeline",
+    "run_figure5",
+    "run_figure6",
+    "run_figure7",
+    "run_figure8",
+    "run_frontend_state",
+    "run_hotbot_degradation",
+    "run_hotbot_throughput",
+    "run_manager_capacity",
+    "run_population_sweep",
+    "run_san_saturation",
+    "run_table1",
+    "run_table2",
+]

@@ -1,0 +1,76 @@
+"""Shared experiment harness: a minimal distillation service on the SNS
+fabric, used by the Figure 8 / Table 2 / SAN-saturation drivers.
+
+This is deliberately thinner than full TranSend: the scalability
+experiments in Section 4.6 bypass cache misses by construction ("these
+images would then remain resident in the cache partitions"), so the
+harness charges a flat cache-hit cost instead of running cache nodes,
+keeping the measured bottlenecks exactly the ones the paper varied
+(distillers, front ends, SAN).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.core.config import SNSConfig
+from repro.core.fabric import SNSFabric
+from repro.core.frontend import Response
+from repro.core.manager_stub import DispatchError
+from repro.distillers.jpeg import JpegDistiller
+from repro.sim.cluster import Cluster
+from repro.sim.network import MBPS
+from repro.tacc.content import Content
+from repro.tacc.registry import WorkerRegistry
+from repro.tacc.worker import TACCRequest, WorkerError
+
+#: flat per-request cache-hit cost (the resident-original lookup).
+CACHE_HIT_S = 0.027
+
+
+class JpegBenchService:
+    """Distill every request through the JPEG distiller; fall back to
+    the original on dispatch failure."""
+
+    worker_type = JpegDistiller.worker_type
+
+    def __init__(self, cluster: Cluster) -> None:
+        self.cluster = cluster
+        self._estimator = JpegDistiller()
+
+    def handle(self, frontend, record):
+        yield self.cluster.env.timeout(CACHE_HIT_S)
+        content = Content(record.url, record.mime,
+                          b"\x00" * record.size_bytes)
+        request = TACCRequest(inputs=[content], params={},
+                              user_id=record.client_id)
+        expected = self._estimator.work_estimate(request)
+        try:
+            result = yield from frontend.stub.dispatch(
+                request, self.worker_type, content.size,
+                expected_cost_s=expected)
+        except (DispatchError, WorkerError):
+            return Response(status="fallback", path="original",
+                            content=content, size_bytes=content.size)
+        return Response(status="ok", path="distilled", content=result,
+                        size_bytes=result.size)
+
+
+def build_bench_fabric(
+    n_nodes: int = 20,
+    n_overflow: int = 0,
+    seed: int = 1997,
+    config: Optional[SNSConfig] = None,
+    san_bandwidth_bps: float = 100 * MBPS,
+    frontend_link_bandwidth_bps: float = 100 * MBPS,
+) -> SNSFabric:
+    cluster = Cluster(seed=seed, san_bandwidth_bps=san_bandwidth_bps)
+    cluster.add_nodes(n_nodes)
+    if n_overflow:
+        cluster.add_nodes(n_overflow, prefix="ovf", overflow=True)
+    registry = WorkerRegistry()
+    registry.register_class(JpegDistiller)
+    service = JpegBenchService(cluster)
+    return SNSFabric(
+        cluster, registry, (config or SNSConfig()).validate(), service,
+        frontend_link_bandwidth_bps=frontend_link_bandwidth_bps)

@@ -1,0 +1,86 @@
+"""HotBot graceful degradation (Section 3.2).
+
+Two claims reproduced:
+
+* "with 26 nodes the loss of one machine results in the database
+  dropping from 54M to about 51M documents" — i.e. coverage falls to
+  ~25/26 and recovers after the fast restart;
+* the original cross-mounted design maintained "100% data availability
+  with graceful degradation in performance."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.hotbot.service import HotBot, HotBotConfig
+
+PAPER_NODES = 26
+PAPER_DOCS_BEFORE_M = 54.0
+PAPER_DOCS_AFTER_M = 51.0
+
+
+@dataclass
+class HotBotDegradationResult:
+    n_nodes: int
+    coverage_before: float
+    coverage_during: float
+    coverage_after_restart: float
+    scaled_docs_before_m: float
+    scaled_docs_during_m: float
+    cross_mount_coverage_during: float
+    cross_mount_latency_penalty: float
+
+    def render(self) -> str:
+        return (
+            "HotBot graceful degradation\n"
+            f"  {self.n_nodes} nodes, scaled database "
+            f"{self.scaled_docs_before_m:.1f}M docs\n"
+            f"  fast-restart: coverage {self.coverage_before:.1%} -> "
+            f"{self.coverage_during:.1%} during outage "
+            f"(paper: 54M -> ~51M = "
+            f"{PAPER_DOCS_AFTER_M / PAPER_DOCS_BEFORE_M:.1%}) -> "
+            f"{self.coverage_after_restart:.1%} after restart\n"
+            f"  cross-mount: coverage "
+            f"{self.cross_mount_coverage_during:.1%} during outage, "
+            f"latency x{self.cross_mount_latency_penalty:.1f} on the "
+            "covering node"
+        )
+
+
+def run_hotbot_degradation(n_nodes: int = PAPER_NODES,
+                           n_docs: int = 2600,
+                           seed: int = 1997) -> HotBotDegradationResult:
+    # fast-restart mode.  Distinct query terms per phase: the
+    # recent-searches cache would otherwise (legitimately — BASE
+    # approximate answers) serve the pre-crash snapshot during the
+    # outage, hiding the coverage drop this experiment measures.
+    hotbot = HotBot(config=HotBotConfig(
+        n_workers=n_nodes, n_docs=n_docs, failure_mode="fast-restart",
+        fast_restart_s=8.0), seed=seed)
+    before = hotbot.run_until(hotbot.submit(["w2", "w5"]))
+    hotbot.crash_worker(0)
+    during = hotbot.run_until(hotbot.submit(["w3", "w6"]))
+    hotbot.run(until=hotbot.cluster.env.now + 15.0)
+    after = hotbot.run_until(hotbot.submit(["w4", "w7"]))
+
+    # cross-mount mode
+    crossmount = HotBot(config=HotBotConfig(
+        n_workers=n_nodes, n_docs=n_docs, failure_mode="cross-mount"),
+        seed=seed)
+    crossmount.crash_worker(0, auto_restart=False)
+    covered = crossmount.run_until(crossmount.submit(["w2", "w5"]))
+
+    scale = PAPER_DOCS_BEFORE_M / 1.0
+    return HotBotDegradationResult(
+        n_nodes=n_nodes,
+        coverage_before=before.coverage,
+        coverage_during=during.coverage,
+        coverage_after_restart=after.coverage,
+        scaled_docs_before_m=scale * before.coverage,
+        scaled_docs_during_m=scale * during.coverage,
+        cross_mount_coverage_during=covered.coverage,
+        cross_mount_latency_penalty=(
+            crossmount.config.cross_mount_penalty),
+    )

@@ -1,0 +1,115 @@
+"""HotBot query throughput: "several million queries per day".
+
+"The commercial version, HotBot, handles several million queries per day
+against a full-text database of 54 million web pages" (Section 1.1) —
+an average of roughly 25-60 queries/second.  This driver offers a
+realistic query stream (Zipf-popular queries, so the recent-searches
+cache earns its keep; a fraction of users page to results 11-20) to a
+scaled-down HotBot and measures sustained throughput, tail latency, and
+cache effectiveness, then extrapolates to queries/day.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.analysis.metrics import LatencyStats
+from repro.hotbot.service import HotBot, HotBotConfig
+from repro.sim.rng import RandomStreams
+
+PAPER_QUERIES_PER_DAY_LOW = 2_000_000
+PAPER_QUERIES_PER_DAY = 4_000_000
+
+
+@dataclass
+class HotBotThroughputResult:
+    offered_qps: float
+    served_qps: float
+    p50_s: float
+    p95_s: float
+    cache_hit_fraction: float
+    incremental_pages: int
+    queries_per_day_equivalent: float
+
+    def render(self) -> str:
+        return (
+            "HotBot query throughput\n"
+            f"  offered {self.offered_qps:.0f} q/s, served "
+            f"{self.served_qps:.1f} q/s "
+            f"(= {self.queries_per_day_equivalent / 1e6:.1f}M "
+            "queries/day; the paper reports 'several million')\n"
+            f"  latency p50 {self.p50_s * 1000:.0f} ms, p95 "
+            f"{self.p95_s * 1000:.0f} ms\n"
+            f"  recent-searches cache served "
+            f"{self.cache_hit_fraction:.0%} of queries "
+            f"({self.incremental_pages} incremental result pages)"
+        )
+
+
+def _query_stream(rng, corpus_vocab: int, n: int
+                  ) -> List[Tuple[List[str], int]]:
+    """(terms, offset) pairs: Zipf-popular two-term queries, 20 % of
+    which are a user paging to the next results."""
+    queries: List[Tuple[List[str], int]] = []
+    for _ in range(n):
+        # popular queries repeat: draw the *query* by Zipf rank and
+        # derive its terms deterministically from the rank
+        rank = rng.zipf_rank(2000, 1.1)
+        terms = [f"w{(rank * 7) % corpus_vocab}",
+                 f"w{(rank * 13 + 1) % corpus_vocab}"]
+        offset = 10 if rng.random() < 0.2 else 0
+        queries.append((terms, offset))
+    return queries
+
+
+def run_hotbot_throughput(
+    offered_qps: float = 50.0,
+    duration_s: float = 60.0,
+    n_workers: int = 16,
+    n_docs: int = 4000,
+    seed: int = 1997,
+) -> HotBotThroughputResult:
+    hotbot = HotBot(config=HotBotConfig(
+        n_workers=n_workers, n_docs=n_docs,
+        frontend_threads=128), seed=seed)
+    env = hotbot.cluster.env
+    rng = RandomStreams(seed).stream("hotbot-queries")
+    queries = _query_stream(rng, hotbot.corpus.vocabulary_size,
+                            int(offered_qps * duration_s * 1.2))
+    latencies = LatencyStats()
+    completions = []
+
+    def client(env, terms, offset):
+        start = env.now
+        result = yield hotbot.submit(terms, f"user{len(completions)}",
+                                     offset)
+        latencies.add(env.now - start)
+        completions.append(env.now)
+
+    def load(env):
+        index = 0
+        end = env.now + duration_s
+        while True:
+            gap = rng.exponential(1.0 / offered_qps)
+            if env.now + gap >= end:
+                return
+            yield env.timeout(gap)
+            terms, offset = queries[index % len(queries)]
+            env.process(client(env, terms, offset))
+            index += 1
+
+    env.process(load(env))
+    hotbot.run(until=duration_s + 30.0)
+    served_qps = len(completions) / duration_s
+    cache_fraction = (hotbot.cache_served / hotbot.queries
+                      if hotbot.queries else 0.0)
+    return HotBotThroughputResult(
+        offered_qps=offered_qps,
+        served_qps=served_qps,
+        p50_s=latencies.p50,
+        p95_s=latencies.p95,
+        cache_hit_fraction=cache_fraction,
+        incremental_pages=hotbot.query_cache.incremental_hits,
+        queries_per_day_equivalent=served_qps * 86_400.0,
+    )

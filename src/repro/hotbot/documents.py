@@ -1,0 +1,79 @@
+"""Synthetic Web corpus for the search engine.
+
+Stands in for HotBot's 54-million-page crawl: documents are bags of
+Zipf-distributed vocabulary terms, so posting-list lengths, score
+distributions, and top-k behaviour look like text retrieval rather than
+uniform noise.  Everything derives from the seed — the same corpus can
+be rebuilt identically on every "node".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Tuple
+
+from repro.sim.rng import RandomStreams, Stream
+
+
+@dataclass(frozen=True)
+class Document:
+    """One indexed page: id, url, and its term-frequency vector."""
+
+    doc_id: int
+    url: str
+    terms: Tuple[Tuple[str, int], ...]   # (term, frequency), sorted
+
+    @property
+    def length(self) -> int:
+        return sum(freq for _, freq in self.terms)
+
+    def tf(self, term: str) -> int:
+        for candidate, freq in self.terms:
+            if candidate == term:
+                return freq
+        return 0
+
+
+class Corpus:
+    """A deterministic collection of synthetic documents."""
+
+    def __init__(self, n_docs: int = 2000, vocabulary_size: int = 2000,
+                 seed: int = 1997, mean_length: int = 80,
+                 zipf_alpha: float = 1.05) -> None:
+        if n_docs <= 0 or vocabulary_size <= 0:
+            raise ValueError("corpus dimensions must be positive")
+        self.n_docs = n_docs
+        self.vocabulary_size = vocabulary_size
+        self.seed = seed
+        rng = RandomStreams(seed).stream("corpus")
+        self.documents: List[Document] = [
+            self._make_document(rng, doc_id, mean_length, zipf_alpha)
+            for doc_id in range(n_docs)
+        ]
+
+    def _make_document(self, rng: Stream, doc_id: int, mean_length: int,
+                       zipf_alpha: float) -> Document:
+        length = max(5, int(rng.lognormal_mean(mean_length, 0.6)))
+        counts: Dict[str, int] = {}
+        for _ in range(length):
+            rank = rng.zipf_rank(self.vocabulary_size, zipf_alpha)
+            term = f"w{rank}"
+            counts[term] = counts.get(term, 0) + 1
+        terms = tuple(sorted(counts.items()))
+        return Document(
+            doc_id=doc_id,
+            url=f"http://crawl.example/page{doc_id}",
+            terms=terms,
+        )
+
+    def __len__(self) -> int:
+        return self.n_docs
+
+    def __iter__(self) -> Iterator[Document]:
+        return iter(self.documents)
+
+    def vocabulary_sample(self, rng: Stream, n: int,
+                          alpha: float = 1.05) -> List[str]:
+        """Query terms drawn with the same skew users exhibit."""
+        return [f"w{rng.zipf_rank(self.vocabulary_size, alpha)}"
+                for _ in range(n)]

@@ -1,0 +1,85 @@
+"""HotBot's integrated cache of recent searches (Table 1).
+
+"Caching: integrated cache of recent searches, for incremental
+delivery."  Search engines answer the same hot queries over and over,
+and a user paging to results 11-20 re-issues the query they just ran;
+HotBot therefore cached *deep* result lists keyed by the normalized
+query and served successive pages — incremental delivery — from that
+cache without touching the partitions again.
+
+The cached result lists are BASE soft state: a lost cache only costs
+recomputation, and entries may be slightly stale with respect to index
+updates (eventual consistency is exactly the paper's point about search
+results).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.cache.lru import LRUCache
+from repro.hotbot.index import SearchHit
+
+#: how deep a result list the cache stores per query: one scatter-gather
+#: can serve this many pages of incremental delivery.
+DEFAULT_CACHE_DEPTH = 100
+#: nominal bytes per cached hit, for the LRU byte budget.
+HIT_BYTES = 96
+
+
+def normalize_query(terms: Sequence[str]) -> Tuple[str, ...]:
+    """Canonical cache key: lowercase, de-duplicated, sorted terms."""
+    return tuple(sorted({term.lower() for term in terms}))
+
+
+class QueryCache:
+    """LRU of deep result lists keyed by normalized query."""
+
+    def __init__(self, capacity_bytes: int = 4_000_000,
+                 depth: int = DEFAULT_CACHE_DEPTH) -> None:
+        if depth < 1:
+            raise ValueError("depth must be >= 1")
+        self._store = LRUCache(capacity_bytes)
+        self.depth = depth
+        self.incremental_hits = 0
+
+    def get_page(self, terms: Sequence[str], offset: int,
+                 k: int) -> Optional[List[SearchHit]]:
+        """Results [offset, offset+k) if the cached list covers them.
+
+        A cached list covers the page when it is deep enough *or* it is
+        the complete answer (shorter than the cache depth means the
+        query simply has no more results).
+        """
+        if offset < 0 or k < 1:
+            raise ValueError("offset must be >= 0 and k >= 1")
+        hits = self._store.get(normalize_query(terms))
+        if hits is None:
+            return None
+        exhausted = len(hits) < self.depth
+        if len(hits) >= offset + k or exhausted:
+            if offset > 0:
+                self.incremental_hits += 1
+            return hits[offset: offset + k]
+        return None  # cached list too shallow for this page
+
+    def store(self, terms: Sequence[str],
+              hits: List[SearchHit]) -> None:
+        key = normalize_query(terms)
+        size = max(HIT_BYTES, HIT_BYTES * len(hits))
+        self._store.put(key, list(hits), size)
+
+    def invalidate(self, terms: Sequence[str]) -> bool:
+        return self._store.invalidate(normalize_query(terms))
+
+    def flush(self) -> int:
+        """BASE: recent-search results are disposable."""
+        return self._store.flush()
+
+    @property
+    def hit_rate(self) -> float:
+        return self._store.hit_rate
+
+    @property
+    def entries(self) -> int:
+        return len(self._store)

@@ -1,0 +1,370 @@
+"""The HotBot cluster service: scatter-gather search over partitions.
+
+Differences from TranSend, straight from Table 1, are visible in the
+code shape: there is no manager and no lottery — the front end sends
+every query to *all* workers in parallel and collates; workers are bound
+to their nodes (each owns a disk partition); failure management is local
+(RAID + fast restart, or the original Inktomi cross-mounting); and the
+ACID side is a primary/backup parallel database good for ~400 requests/s
+(Section 4.6: "HotBot's ACID database (parallel Informix server) ...
+can serve about 400 requests per second").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.component import Component
+from repro.hotbot.documents import Corpus
+from repro.hotbot.index import InvertedIndex, SearchHit, merge_hits
+from repro.hotbot.partition import PartitionMap
+from repro.sim.cluster import Cluster
+from repro.sim.network import Link
+from repro.sim.node import Node, NodeDown
+
+
+@dataclass
+class HotBotConfig:
+    """Deployment knobs for a HotBot installation."""
+
+    n_workers: int = 8
+    n_docs: int = 2600
+    top_k: int = 10
+    #: per-query worker cost: fixed + per-posting-scanned.
+    query_fixed_s: float = 0.008
+    query_per_posting_s: float = 3e-6
+    #: front end threads per node ("50-80 threads per node").
+    frontend_threads: int = 64
+    #: scatter-gather deadline; missing partitions => partial results.
+    gather_timeout_s: float = 2.0
+    #: "fast-restart" (RAID, partition offline until restart) or
+    #: "cross-mount" (original Inktomi: a peer serves the partition).
+    failure_mode: str = "fast-restart"
+    #: node restart time under fast-restart.
+    fast_restart_s: float = 10.0
+    #: cross-mounted access is slower (remote disk).
+    cross_mount_penalty: float = 2.0
+    #: Informix capacity and failover time.
+    db_capacity_rps: float = 400.0
+    db_failover_s: float = 5.0
+
+
+@dataclass
+class QueryResult:
+    """What the front end returns to the user."""
+
+    hits: List[SearchHit]
+    coverage: float              # fraction of the database consulted
+    partitions_answered: int
+    partitions_total: int
+    served_by_replica: int = 0
+    #: served from the recent-searches cache (Table 1's "integrated
+    #: cache of recent searches, for incremental delivery").
+    from_cache: bool = False
+
+    @property
+    def partial(self) -> bool:
+        return self.partitions_answered < self.partitions_total
+
+
+class InformixModel:
+    """The primary/backup ACID database: a serial server with failover.
+
+    ACID data (user profiles, ad-revenue tracking) never degrades to
+    approximate answers: during failover, requests *wait*.
+    """
+
+    def __init__(self, cluster: Cluster, capacity_rps: float,
+                 failover_s: float) -> None:
+        self.cluster = cluster
+        self.failover_s = failover_s
+        self._pipe = Link(cluster.env, "informix",
+                          bandwidth_bps=capacity_rps, latency_s=0.0)
+        self.available = True
+        self.unavailable_until = 0.0
+        self.requests = 0
+        self.failovers = 0
+
+    def fail_primary(self) -> None:
+        """Crash the primary; the backup takes over after failover_s."""
+        self.available = False
+        self.unavailable_until = self.cluster.env.now + self.failover_s
+        self.failovers += 1
+
+    def request(self):
+        """Process generator: one profile read + ad-revenue write."""
+        env = self.cluster.env
+        while not self.available:
+            wait = self.unavailable_until - env.now
+            if wait <= 0:
+                self.available = True
+                break
+            yield env.timeout(wait)
+        self.requests += 1
+        yield env.timeout(self._pipe.reserve(1.0))
+
+    def utilization(self) -> float:
+        return self._pipe.utilization()
+
+
+class SearchWorker(Component):
+    """One partition's query server, bound to its node."""
+
+    kind = "search-worker"
+
+    def __init__(self, cluster: Cluster, node: Node, name: str,
+                 partition: int, index: InvertedIndex,
+                 config: HotBotConfig,
+                 replica_index: Optional[InvertedIndex] = None,
+                 replica_partition: Optional[int] = None) -> None:
+        super().__init__(cluster, node, name)
+        self.partition = partition
+        self.index = index
+        self.config = config
+        #: cross-mount mode: this worker can also serve a peer's
+        #: partition from the shared disk, at a penalty.
+        self.replica_index = replica_index
+        self.replica_partition = replica_partition
+        self.queue = cluster.env.queue()
+        self.queries_served = 0
+        self.replica_queries_served = 0
+
+    def _start_processes(self) -> None:
+        self.spawn(self._service_loop())
+
+    def submit(self, terms: Sequence[str], k: int, reply,
+               use_replica: bool = False) -> None:
+        """Accept one scatter leg; dead workers swallow it (the front
+        end's gather timeout is the failure detector)."""
+        if not self.alive:
+            return
+        self.queue.put_nowait((terms, k, reply, use_replica))
+
+    def _service_loop(self):
+        while True:
+            terms, k, reply, use_replica = yield self.queue.get()
+            index = self.replica_index if use_replica else self.index
+            if index is None:
+                continue
+            scanned = index.postings_scanned(terms)
+            work = (self.config.query_fixed_s
+                    + self.config.query_per_posting_s * scanned)
+            if use_replica:
+                work *= self.config.cross_mount_penalty
+            try:
+                yield from self.node.compute(work)
+            except NodeDown:
+                return
+            hits = index.query(terms, k)
+            if use_replica:
+                self.replica_queries_served += 1
+            else:
+                self.queries_served += 1
+            delay = self.cluster.network.transfer_delay(64 * len(hits))
+            self.spawn(self._deliver(reply, hits, delay))
+
+    def _deliver(self, reply, hits, delay):
+        yield self.env.timeout(delay)
+        if self.alive and not reply.triggered:
+            reply.succeed(hits)
+
+    def _on_crash(self) -> None:
+        self.queue.clear()
+
+
+class HotBot:
+    """A HotBot installation: corpus, partitions, workers, front end."""
+
+    def __init__(self, config: Optional[HotBotConfig] = None,
+                 seed: int = 1997,
+                 node_speeds: Optional[List[float]] = None) -> None:
+        self.config = config or HotBotConfig()
+        self.cluster = Cluster(seed=seed)
+        self.corpus = Corpus(n_docs=self.config.n_docs, seed=seed)
+        speeds = node_speeds or [1.0] * self.config.n_workers
+        if len(speeds) != self.config.n_workers:
+            raise ValueError("node_speeds length must match n_workers")
+        rng = self.cluster.streams.stream("partition")
+        # "each worker handles a subset of the database proportional to
+        # its CPU power"
+        self.partition_map = PartitionMap(self.corpus, speeds, rng)
+        self.workers: List[SearchWorker] = []
+        indexes = [self.partition_map.build_index(partition)
+                   for partition in range(self.config.n_workers)]
+        for partition, speed in enumerate(speeds):
+            node = self.cluster.add_node(f"hb{partition}", speed=speed)
+            replica_index = None
+            replica_partition = None
+            if self.config.failure_mode == "cross-mount":
+                # each node can also reach its successor's partition
+                replica_partition = (partition + 1) % self.config.n_workers
+                replica_index = indexes[replica_partition]
+            worker = SearchWorker(
+                self.cluster, node, f"search{partition}", partition,
+                indexes[partition], self.config,
+                replica_index=replica_index,
+                replica_partition=replica_partition)
+            worker.start()
+            self.workers.append(worker)
+        db_node = self.cluster.add_node("informix")
+        self.database = InformixModel(
+            self.cluster, self.config.db_capacity_rps,
+            self.config.db_failover_s)
+        from repro.hotbot.query_cache import QueryCache
+        self.query_cache = QueryCache()
+        self._threads = self.cluster.env.queue()
+        for index in range(self.config.frontend_threads):
+            self._threads.put_nowait(index)
+        self.queries = 0
+        self.partial_answers = 0
+        self.cache_served = 0
+
+    # -- failure injection hooks ----------------------------------------------------
+
+    def crash_worker(self, partition: int,
+                     auto_restart: Optional[bool] = None) -> None:
+        worker = self.workers[partition]
+        worker.node.crash()
+        worker.kill()
+        restart = (self.config.failure_mode == "fast-restart"
+                   if auto_restart is None else auto_restart)
+        if restart:
+            self.cluster.env.process(self._fast_restart(partition))
+
+    def _fast_restart(self, partition: int):
+        """RAID keeps the disk; the node restarts and reloads its
+        partition ("fast restart minimizes the impact of node failures")."""
+        yield self.cluster.env.timeout(self.config.fast_restart_s)
+        old = self.workers[partition]
+        old.node.restart()
+        replacement = SearchWorker(
+            self.cluster, old.node, f"{old.name}.r", partition,
+            self.partition_map.build_index(partition), self.config,
+            replica_index=old.replica_index,
+            replica_partition=old.replica_partition)
+        replacement.start()
+        self.workers[partition] = replacement
+
+    # -- the query path ------------------------------------------------------------------
+
+    def submit(self, terms: Sequence[str], user_id: str = "anon",
+               offset: int = 0):
+        """Client entry: returns an event completing with QueryResult.
+
+        ``offset`` pages through results ("incremental delivery"):
+        page 2 is ``offset=10`` with the default top_k.
+        """
+        reply = self.cluster.env.event()
+        self.cluster.env.process(
+            self._handle(terms, user_id, offset, reply))
+        return reply
+
+    def _handle(self, terms, user_id, offset, reply):
+        result = yield from self.query(terms, user_id, offset)
+        if not reply.triggered:
+            reply.succeed(result)
+
+    #: service time for a recent-searches cache hit.
+    CACHE_HIT_S = 0.003
+
+    def query(self, terms: Sequence[str], user_id: str = "anon",
+              offset: int = 0):
+        """Process generator: the full front-end query path."""
+        env = self.cluster.env
+        thread = yield self._threads.get()
+        try:
+            # ACID side first: profile + ad tracking
+            yield from self.database.request()
+            # recent-searches cache: repeated queries and later result
+            # pages never touch the partitions
+            page = self.query_cache.get_page(terms, offset,
+                                             self.config.top_k)
+            if page is not None:
+                yield env.timeout(self.CACHE_HIT_S)
+                self.queries += 1
+                self.cache_served += 1
+                return QueryResult(
+                    hits=page,
+                    coverage=1.0,
+                    partitions_answered=self.config.n_workers,
+                    partitions_total=self.config.n_workers,
+                    from_cache=True,
+                )
+            # scatter to every reachable partition; fetch deep so the
+            # cache can serve later pages incrementally
+            fetch_k = max(self.config.top_k + offset,
+                          self.query_cache.depth)
+            legs = []  # (partition, event, used_replica)
+            replica_legs = 0
+            for partition in range(self.config.n_workers):
+                leg = self._scatter_leg(partition, terms, fetch_k)
+                if leg is None:
+                    continue
+                if leg[2]:
+                    replica_legs += 1
+                legs.append(leg)
+            if not legs:
+                self.queries += 1
+                self.partial_answers += 1
+                return QueryResult([], 0.0, 0, self.config.n_workers)
+            events = [event for _, event, _ in legs]
+            timer = env.timeout(self.config.gather_timeout_s)
+            yield env.any_of([env.all_of(events), timer])
+            answered_partials = [
+                event.value for event in events
+                if event.processed and event.ok
+            ]
+            answered_partitions = [
+                partition for partition, event, _ in legs
+                if event.processed and event.ok
+            ]
+            coverage = self.partition_map.coverage_without([
+                partition for partition in range(self.config.n_workers)
+                if partition not in answered_partitions
+            ])
+            deep_hits = merge_hits(answered_partials, fetch_k)
+            self.queries += 1
+            result = QueryResult(
+                hits=deep_hits[offset: offset + self.config.top_k],
+                coverage=coverage,
+                partitions_answered=len(answered_partials),
+                partitions_total=self.config.n_workers,
+                served_by_replica=replica_legs,
+            )
+            if result.partial:
+                self.partial_answers += 1
+            else:
+                # cache only complete answers so paging never silently
+                # serves a degraded result set
+                self.query_cache.store(terms, deep_hits)
+            return result
+        finally:
+            self._threads.put_nowait(thread)
+
+    def _scatter_leg(self, partition: int, terms: Sequence[str],
+                     k: int):
+        """One (partition, event, used_replica) leg, or None if the
+        partition is unreachable."""
+        env = self.cluster.env
+        worker = self.workers[partition]
+        if worker.alive:
+            reply = env.event()
+            self.cluster.network.transfer_delay(128)  # scatter bytes
+            worker.submit(terms, k, reply)
+            return partition, reply, False
+        if self.config.failure_mode == "cross-mount":
+            # "there were always multiple nodes that could reach any
+            # database partition"
+            for peer in self.workers:
+                if peer.alive and peer.replica_partition == partition:
+                    reply = env.event()
+                    peer.submit(terms, k, reply, use_replica=True)
+                    return partition, reply, True
+        return None
+
+    def run(self, until=None):
+        return self.cluster.run(until)
+
+    def run_until(self, event):
+        return self.cluster.env.run(until=event)

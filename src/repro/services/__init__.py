@@ -1,0 +1,45 @@
+"""Extension services (Section 5.1): TACC's extensibility, demonstrated.
+
+"One of our goals was to make the system easily extensible at the TACC
+and Service layers by making it easy to create workers and chain them
+together."  The paper lists five services prototyped on TranSend; all
+five are implemented here as ordinary TACC workers, each registrable
+with any :class:`~repro.core.fabric.SNSFabric` and therefore inheriting
+"scalability, fault tolerance, and high availability from the SNS
+layer":
+
+* **keyword filter** — "about 10 lines of Perl": mark up keywords per a
+  user-supplied regular expression;
+* **metasearch** — collate top results from several search engines into
+  one page ("3 pages of Perl ... roughly 2.5 hours");
+* **Bay Area Culture Page** — layout-independent date/event scraping
+  with BASE approximate answers (10-20 % spurious results are fine);
+* **anonymous rewebber** — encryption/decryption workers for anonymous
+  publishing (implemented in one week on the TACC architecture);
+* **thin-client support** — simplified markup and scaled images
+  "spoon-fed" to a PalmPilot-class browser.
+"""
+
+from repro.services.keyword_filter import KeywordFilter
+from repro.services.metasearch import (
+    MetasearchAggregator,
+    render_engine_results,
+)
+from repro.services.culture_page import CulturePageAggregator
+from repro.services.rewebber import (
+    DecryptWorker,
+    EncryptWorker,
+    rewebber_keypair,
+)
+from repro.services.thinclient import ThinClientSimplifier
+
+__all__ = [
+    "CulturePageAggregator",
+    "DecryptWorker",
+    "EncryptWorker",
+    "KeywordFilter",
+    "MetasearchAggregator",
+    "ThinClientSimplifier",
+    "render_engine_results",
+    "rewebber_keypair",
+]

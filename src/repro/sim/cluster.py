@@ -1,0 +1,105 @@
+"""Cluster assembly: nodes + SAN + multicast bus + RNG under one roof.
+
+A :class:`Cluster` is the simulated counterpart of the paper's testbed
+("15 Sun SPARC Ultra-1 workstations connected by 100 Mb/s switched
+Ethernet"): a set of dedicated nodes, an optional overflow pool of
+non-dedicated machines (Section 2.2.3), the interior SAN, and access
+links for traffic entering or leaving the system.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.sim.kernel import Environment
+from repro.sim.multicast import MulticastBus
+from repro.sim.network import MBPS, AccessLink, Network
+from repro.sim.node import Node
+from repro.sim.rng import RandomStreams
+
+
+class ClusterError(Exception):
+    """Cluster-level configuration or capacity errors."""
+
+
+class Cluster:
+    """Hardware plus shared services for one simulated installation."""
+
+    def __init__(
+        self,
+        env: Optional[Environment] = None,
+        seed: int = 1997,
+        san_bandwidth_bps: float = 100 * MBPS,
+        san_latency_s: float = 0.0005,
+    ) -> None:
+        self.env = env if env is not None else Environment()
+        self.streams = RandomStreams(seed)
+        self.network = Network(self.env, san_bandwidth_bps, san_latency_s)
+        self.multicast = MulticastBus(
+            self.env, self.network, self.streams.stream("multicast"))
+        self.nodes: Dict[str, Node] = {}
+
+    # -- topology -----------------------------------------------------------
+
+    def add_node(self, name: str, cpus: int = 1, speed: float = 1.0,
+                 overflow: bool = False, **kwargs) -> Node:
+        if name in self.nodes:
+            raise ClusterError(f"duplicate node {name!r}")
+        node = Node(self.env, name, cpus=cpus, speed=speed,
+                    overflow=overflow, **kwargs)
+        self.nodes[name] = node
+        return node
+
+    def add_nodes(self, count: int, prefix: str = "node",
+                  overflow: bool = False, **kwargs) -> List[Node]:
+        start = len([n for n in self.nodes if n.startswith(prefix)])
+        return [
+            self.add_node(f"{prefix}{start + index}", overflow=overflow,
+                          **kwargs)
+            for index in range(count)
+        ]
+
+    def add_access_link(self, name: str,
+                        bandwidth_bps: float = 100 * MBPS) -> AccessLink:
+        return self.network.add_access_link(name, bandwidth_bps)
+
+    # -- node selection (used by the manager when spawning workers) ----------
+
+    @property
+    def dedicated_nodes(self) -> List[Node]:
+        return [n for n in self.nodes.values() if not n.overflow]
+
+    @property
+    def overflow_nodes(self) -> List[Node]:
+        return [n for n in self.nodes.values() if n.overflow]
+
+    def free_node(self, include_overflow: bool = False) -> Optional[Node]:
+        """A node with nothing running on it, dedicated pool first.
+
+        The paper's manager "can automatically spawn a new distiller on an
+        unused node"; when the dedicated pool is exhausted it "can resort
+        to starting up temporary distillers on a set of overflow nodes".
+        """
+        for node in self.dedicated_nodes:
+            if node.is_free:
+                return node
+        if include_overflow:
+            for node in self.overflow_nodes:
+                if node.is_free:
+                    return node
+        return None
+
+    def least_loaded_node(self, include_overflow: bool = False) -> Node:
+        """The up node hosting the fewest components (fallback placement)."""
+        candidates = [n for n in self.dedicated_nodes if n.up]
+        if include_overflow:
+            candidates += [n for n in self.overflow_nodes if n.up]
+        if not candidates:
+            raise ClusterError("no nodes available")
+        return min(candidates, key=lambda n: len(n.components))
+
+    def node(self, name: str) -> Node:
+        return self.nodes[name]
+
+    def run(self, until: Optional[float] = None):
+        return self.env.run(until)

@@ -1,0 +1,133 @@
+"""Fault injection: the experimenter's kill switch.
+
+Section 4.5's headline fault-tolerance result ("we manually killed the
+first two distillers, causing the load on the remaining distiller to
+rapidly increase...") is driven here: the :class:`FaultInjector` schedules
+kills of components or whole nodes at chosen simulated times, or randomly
+with a configurable mean time between failures.
+
+A *killable* is anything with a ``name`` attribute and a ``kill()``
+method; all SNS components satisfy this protocol.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional, Tuple
+
+from repro.sim.kernel import Environment
+from repro.sim.node import Node
+from repro.sim.rng import Stream
+
+
+class FaultRecord:
+    """One injected fault, for post-run reporting."""
+
+    def __init__(self, time: float, kind: str, target: str) -> None:
+        self.time = time
+        self.kind = kind
+        self.target = target
+
+    def __repr__(self) -> str:
+        return f"<Fault {self.kind} {self.target} @ {self.time:.2f}s>"
+
+
+class FaultInjector:
+    """Schedules component kills and node crashes."""
+
+    def __init__(self, env: Environment,
+                 rng: Optional[Stream] = None) -> None:
+        self.env = env
+        self.rng = rng
+        self.log: List[FaultRecord] = []
+
+    # -- scheduled, deterministic faults -------------------------------------
+
+    def kill_at(self, time: float, target: Any) -> None:
+        """Kill ``target`` (a component with ``kill()``) at ``time``."""
+        self.env.process(self._kill_later(time, target))
+
+    def _kill_later(self, time: float, target: Any):
+        delay = time - self.env.now
+        if delay < 0:
+            raise ValueError(f"kill time {time} is in the past")
+        yield self.env.timeout(delay)
+        self._kill(target)
+
+    def crash_node_at(self, time: float, node: Node,
+                      components: Optional[List[Any]] = None,
+                      restart_after: Optional[float] = None) -> None:
+        """Crash a whole node (and everything on it) at ``time``."""
+        self.env.process(
+            self._crash_node_later(time, node, components or [],
+                                   restart_after))
+
+    def _crash_node_later(self, time: float, node: Node,
+                          components: List[Any],
+                          restart_after: Optional[float]):
+        delay = time - self.env.now
+        if delay < 0:
+            raise ValueError(f"crash time {time} is in the past")
+        yield self.env.timeout(delay)
+        node.crash()
+        self.log.append(FaultRecord(self.env.now, "node-crash", node.name))
+        for component in components:
+            self._kill(component)
+        if restart_after is not None:
+            yield self.env.timeout(restart_after)
+            node.restart()
+            self.log.append(
+                FaultRecord(self.env.now, "node-restart", node.name))
+
+    def partition_at(self, time: float, target: Any,
+                     duration_s: float) -> None:
+        """Cut ``target`` (anything with ``partition(duration_s)``) off
+        the network at ``time`` — the Section 2.2.4 SAN-partition fault."""
+        self.env.process(self._partition_later(time, target, duration_s))
+
+    def _partition_later(self, time: float, target: Any,
+                         duration_s: float):
+        delay = time - self.env.now
+        if delay < 0:
+            raise ValueError(f"partition time {time} is in the past")
+        yield self.env.timeout(delay)
+        target.partition(duration_s)
+        self.log.append(FaultRecord(
+            self.env.now, "partition",
+            getattr(target, "name", repr(target))))
+
+    # -- random faults --------------------------------------------------------
+
+    def random_kills(self, targets_provider: Callable[[], List[Any]],
+                     mtbf_s: float, stop_at: float) -> None:
+        """Kill a random live component every ~``mtbf_s`` seconds.
+
+        ``targets_provider`` is called at each fault time so newly spawned
+        (or restarted) components are eligible — the whole point of the
+        paper's fault model is that the population churns.
+        """
+        if self.rng is None:
+            raise ValueError("random faults require an RNG stream")
+        self.env.process(
+            self._random_kill_loop(targets_provider, mtbf_s, stop_at))
+
+    def _random_kill_loop(self, targets_provider, mtbf_s: float,
+                          stop_at: float):
+        while True:
+            gap = self.rng.exponential(mtbf_s)
+            if self.env.now + gap > stop_at:
+                return
+            yield self.env.timeout(gap)
+            targets = [t for t in targets_provider() if t is not None]
+            if not targets:
+                continue
+            self._kill(self.rng.choice(targets))
+
+    # -- internals --------------------------------------------------------------
+
+    def _kill(self, target: Any) -> None:
+        name = getattr(target, "name", repr(target))
+        target.kill()
+        self.log.append(FaultRecord(self.env.now, "kill", name))
+
+    def faults_before(self, time: float) -> List[FaultRecord]:
+        return [record for record in self.log if record.time <= time]

@@ -1,0 +1,443 @@
+"""Generator-based discrete-event simulation kernel.
+
+This is the clock that replaces the paper's wall-clock cluster.  Components
+(front ends, the manager, distillers, cache nodes) are written as Python
+generator functions that ``yield`` events; the :class:`Environment` drives
+them in simulated-time order.  The design follows the classic SimPy model,
+but is self-contained so the repository has no external simulation
+dependency.
+
+Example
+-------
+>>> env = Environment()
+>>> log = []
+>>> def ticker(env, period):
+...     while True:
+...         yield env.timeout(period)
+...         log.append(env.now)
+>>> _ = env.process(ticker(env, 10.0))
+>>> env.run(until=35.0)
+>>> log
+[10.0, 20.0, 30.0]
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, List, Optional
+
+#: Scheduling priorities.  Urgent events (interrupts, process resumes) are
+#: handled before normal events scheduled for the same simulated time.
+URGENT = 0
+NORMAL = 1
+
+PENDING = object()
+
+
+class SimulationError(Exception):
+    """Base class for kernel-level errors."""
+
+
+class StopSimulation(Exception):
+    """Raised internally to end :meth:`Environment.run` at an event."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process by :meth:`Process.interrupt`.
+
+    The SNS layer uses interrupts to model component crashes: killing a
+    distiller interrupts its service loop, exactly as SIGKILL would end a
+    worker process on a cluster node.
+    """
+
+    @property
+    def cause(self) -> Any:
+        return self.args[0] if self.args else None
+
+
+class Event:
+    """A happening at a point in simulated time.
+
+    An event is *triggered* when given a value (or exception) and scheduled,
+    and *processed* once its callbacks have run.  Processes wait on events
+    by ``yield``-ing them.
+    """
+
+    def __init__(self, env: "Environment") -> None:
+        self.env = env
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: Any = PENDING
+        self._ok = True
+
+    @property
+    def triggered(self) -> bool:
+        return self._value is not PENDING
+
+    @property
+    def processed(self) -> bool:
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        if not self.triggered:
+            raise SimulationError("event value not yet available")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        if self._value is PENDING:
+            raise SimulationError("event value not yet available")
+        return self._value
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self.triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        self._value = value
+        self.env._schedule(self, NORMAL, 0.0)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception.
+
+        A process waiting on the event will have ``exception`` raised at
+        its ``yield`` statement.
+        """
+        if self.triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._ok = False
+        self._value = exception
+        self.env._schedule(self, NORMAL, 0.0)
+        return self
+
+    def __repr__(self) -> str:
+        state = "processed" if self.processed else (
+            "triggered" if self.triggered else "pending")
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires after a fixed simulated delay."""
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        super().__init__(env)
+        self._value = value
+        self.delay = delay
+        env._schedule(self, NORMAL, delay)
+
+
+class Initialize(Event):
+    """Immediate event used to start a freshly created process."""
+
+    def __init__(self, env: "Environment", process: "Process"):
+        super().__init__(env)
+        self._value = None
+        self.callbacks.append(process._resume)
+        env._schedule(self, URGENT, 0.0)
+
+
+class Process(Event):
+    """A running generator; also an event that fires when it terminates.
+
+    The event's value is the generator's return value.  If the generator
+    raises, the process event fails with that exception (propagating to any
+    process waiting on it, or aborting the simulation if unhandled).
+    """
+
+    def __init__(self, env: "Environment", generator: Generator):
+        if not hasattr(generator, "throw"):
+            raise TypeError(f"{generator!r} is not a generator")
+        super().__init__(env)
+        self._generator = generator
+        self._target: Optional[Event] = None
+        Initialize(env, self)
+
+    @property
+    def is_alive(self) -> bool:
+        return not self.triggered
+
+    @property
+    def target(self) -> Optional[Event]:
+        """The event this process is currently waiting on."""
+        return self._target
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process as soon as possible."""
+        if not self.is_alive:
+            raise SimulationError("cannot interrupt a dead process")
+        if self is self.env.active_process:
+            raise SimulationError("a process cannot interrupt itself")
+        event = Event(self.env)
+        event._ok = False
+        event._value = Interrupt(cause)
+        event.callbacks.append(self._resume)
+        self.env._schedule(event, URGENT, 0.0)
+        # Detach from whatever the process was waiting on so that a later
+        # trigger of that event does not resume the interrupted frame.
+        # Mark the abandoned event defused: if it fails after losing its
+        # only observer, that is not an unhandled error.
+        if self._target is not None and self._target.callbacks is not None:
+            try:
+                self._target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+            if not self._target.callbacks:
+                self._target._defused = True
+        self._target = None
+
+    def _resume(self, event: Event) -> None:
+        if self.triggered:
+            return  # already terminated (e.g. raced interrupt)
+        self.env._active_process = self
+        while True:
+            try:
+                if event._ok:
+                    next_event = self._generator.send(event._value)
+                else:
+                    exc = event._value
+                    if isinstance(exc, Interrupt):
+                        # re-wrap so each delivery is a distinct instance
+                        exc = Interrupt(exc.cause)
+                    next_event = self._generator.throw(exc)
+            except StopIteration as stop:
+                self._target = None
+                self._value = stop.value
+                self.env._schedule(self, NORMAL, 0.0)
+                break
+            except BaseException as error:  # generator died
+                self._target = None
+                self._ok = False
+                self._value = error
+                self.env._schedule(self, NORMAL, 0.0)
+                break
+
+            if not isinstance(next_event, Event):
+                event = Event(self.env)
+                event._ok = False
+                event._value = TypeError(
+                    f"process yielded non-event {next_event!r}")
+                continue
+            if next_event.env is not self.env:
+                raise SimulationError("event from a different environment")
+            if next_event.callbacks is not None:
+                # not yet processed: wait for it
+                next_event.callbacks.append(self._resume)
+                self._target = next_event
+                break
+            # already processed: feed its value back immediately
+            event = next_event
+        self.env._active_process = None
+
+
+class Condition(Event):
+    """Fires when ``count`` of the given events have triggered successfully.
+
+    Used via :meth:`Environment.any_of` / :meth:`Environment.all_of`.  The
+    value is a dict mapping each triggered event to its value.
+    """
+
+    def __init__(self, env: "Environment", events: Iterable[Event],
+                 count: int) -> None:
+        super().__init__(env)
+        self._events = list(events)
+        self._need = min(count, len(self._events))
+        self._done = 0
+        if self._need == 0:
+            self.succeed({})
+            return
+        for event in self._events:
+            if event.callbacks is None:  # already processed
+                self._check(event)
+            else:
+                event.callbacks.append(self._check)
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event._ok:
+            self.fail(event._value)
+            return
+        self._done += 1
+        if self._done >= self._need:
+            self.succeed({
+                ev: ev._value
+                for ev in self._events
+                if ev.processed and ev._ok
+            })
+
+
+class QueueFull(SimulationError):
+    """Raised by :meth:`Queue.put_nowait` when a bounded queue is full."""
+
+
+class Queue:
+    """FIFO queue with blocking ``get`` and optional capacity.
+
+    This is the building block for every service queue in the system — a
+    distiller's request queue, a front end's accept queue, the manager's
+    report inbox.  Queue length is the paper's load metric (Section 4.5),
+    so :attr:`length` is cheap and always current.
+    """
+
+    def __init__(self, env: Environment, capacity: Optional[int] = None):
+        if capacity is not None and capacity <= 0:
+            raise ValueError("capacity must be positive or None")
+        self.env = env
+        self.capacity = capacity
+        self._items: List[Any] = []
+        self._getters: List[Event] = []
+
+    @property
+    def length(self) -> int:
+        return len(self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def is_full(self) -> bool:
+        return self.capacity is not None and len(self._items) >= self.capacity
+
+    def put_nowait(self, item: Any) -> None:
+        """Enqueue ``item``; raise :class:`QueueFull` if at capacity."""
+        if self.is_full:
+            raise QueueFull(f"queue at capacity {self.capacity}")
+        # hand directly to a waiting getter if any
+        while self._getters:
+            getter = self._getters.pop(0)
+            if getter.triggered or not getter.callbacks:
+                # Getter already resolved, or its process was interrupted
+                # (the kernel detaches the resume callback on interrupt):
+                # delivering here would lose the item.
+                continue
+            getter.succeed(item)
+            return
+        self._items.append(item)
+
+    def try_put(self, item: Any) -> bool:
+        """Enqueue ``item`` unless full; return whether it was accepted."""
+        try:
+            self.put_nowait(item)
+        except QueueFull:
+            return False
+        return True
+
+    def get(self) -> Event:
+        """Return an event that fires with the next item (FIFO)."""
+        event = Event(self.env)
+        if self._items:
+            event.succeed(self._items.pop(0))
+        else:
+            self._getters.append(event)
+        return event
+
+    def get_nowait(self) -> Any:
+        """Dequeue immediately; raise :class:`SimulationError` if empty."""
+        if not self._items:
+            raise SimulationError("queue is empty")
+        return self._items.pop(0)
+
+    def clear(self) -> List[Any]:
+        """Drop and return all queued items (used when a worker crashes)."""
+        items, self._items = self._items, []
+        return items
+
+
+class Environment:
+    """The simulation world: event heap, clock, and process factory."""
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now = float(initial_time)
+        self._heap: List[Any] = []
+        self._seq = 0
+        self._active_process: Optional[Process] = None
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        return self._active_process
+
+    # -- event factories ---------------------------------------------------
+
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator) -> Process:
+        return Process(self, generator)
+
+    def queue(self, capacity: Optional[int] = None) -> Queue:
+        return Queue(self, capacity)
+
+    def any_of(self, events: Iterable[Event]) -> Condition:
+        return Condition(self, events, count=1)
+
+    def all_of(self, events: Iterable[Event]) -> Condition:
+        events = list(events)
+        return Condition(self, events, count=len(events))
+
+    # -- scheduling and execution ------------------------------------------
+
+    def _schedule(self, event: Event, priority: int, delay: float) -> None:
+        self._seq += 1
+        heapq.heappush(
+            self._heap, (self._now + delay, priority, self._seq, event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._heap[0][0] if self._heap else float("inf")
+
+    def step(self) -> None:
+        """Process the single next event."""
+        if not self._heap:
+            raise SimulationError("no more events")
+        self._now, _, _, event = heapq.heappop(self._heap)
+        callbacks, event.callbacks = event.callbacks, None
+        for callback in callbacks:
+            callback(event)
+        if not event._ok and not callbacks and \
+                not getattr(event, "_defused", False):
+            # A failed event nobody was waiting on: a process died with an
+            # unhandled exception.  Surface it rather than losing it.
+            raise event._value
+
+    def run(self, until: Any = None) -> Any:
+        """Run until ``until`` (a time, an event, or exhaustion).
+
+        Returns the event's value when ``until`` is an event.
+        """
+        stop_at = float("inf")
+        if isinstance(until, Event):
+            if until.callbacks is None:
+                return until._value
+
+            def _stop(event: Event) -> None:
+                raise StopSimulation(event)
+
+            until.callbacks.append(_stop)
+        elif until is not None:
+            stop_at = float(until)
+            if stop_at < self._now:
+                raise ValueError(f"until={stop_at} is in the past")
+
+        try:
+            while self._heap and self._heap[0][0] <= stop_at:
+                self.step()
+        except StopSimulation as stop:
+            event = stop.args[0]
+            if not event._ok:
+                raise event._value
+            return event._value
+        if stop_at != float("inf"):
+            self._now = stop_at
+        return None

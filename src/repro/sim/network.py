@@ -1,0 +1,215 @@
+"""System-area network (SAN) and access-link models.
+
+The paper's measurements (Section 4.6) hinge on *where bandwidth runs
+out*: the 100 Mb/s Ethernet into each front end saturates at ~70-87
+requests per second, while the interior SAN does not saturate at all — and
+on a 10 Mb/s SAN, saturation drops the (unreliable) multicast beacons and
+cripples load balancing.  This module models exactly those effects.
+
+A :class:`Link` is a fluid-flow shared pipe: each message reserves
+``size / bandwidth`` seconds of pipe time behind whatever is already
+queued, plus a fixed propagation latency.  A windowed utilization meter
+drives both saturation detection (for Table 2's "element that saturated"
+column) and the multicast drop probability (for the 10 Mb/s experiment).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Optional, Tuple
+
+from repro.sim.kernel import Environment
+
+#: Convenience: megabits/second to bytes/second.
+MBPS = 1_000_000 / 8
+
+
+class UtilizationMeter:
+    """Windowed byte-rate meter over fixed-size time buckets."""
+
+    def __init__(self, env: Environment, window: float = 5.0,
+                 buckets: int = 10) -> None:
+        self.env = env
+        self.window = window
+        self.bucket_width = window / buckets
+        self._buckets: Deque[Tuple[int, float]] = deque()  # (bucket_id, bytes)
+
+    def record(self, nbytes: float) -> None:
+        bucket_id = int(self.env.now / self.bucket_width)
+        if self._buckets and self._buckets[-1][0] == bucket_id:
+            last_id, last_bytes = self._buckets[-1]
+            self._buckets[-1] = (last_id, last_bytes + nbytes)
+        else:
+            self._buckets.append((bucket_id, nbytes))
+        self._expire(bucket_id)
+
+    def _expire(self, current_bucket: int) -> None:
+        horizon = current_bucket - int(self.window / self.bucket_width)
+        while self._buckets and self._buckets[0][0] < horizon:
+            self._buckets.popleft()
+
+    def rate(self) -> float:
+        """Bytes per second over the window ending now."""
+        current_bucket = int(self.env.now / self.bucket_width)
+        self._expire(current_bucket)
+        total = sum(nbytes for _, nbytes in self._buckets)
+        return total / self.window
+
+
+class Link:
+    """A shared pipe with bandwidth, latency, and a utilization meter."""
+
+    def __init__(
+        self,
+        env: Environment,
+        name: str,
+        bandwidth_bps: float,
+        latency_s: float = 0.0005,
+    ) -> None:
+        if bandwidth_bps <= 0:
+            raise ValueError("bandwidth must be positive")
+        if latency_s < 0:
+            raise ValueError("latency must be non-negative")
+        self.env = env
+        self.name = name
+        self.bandwidth_bps = bandwidth_bps
+        self.latency_s = latency_s
+        self._busy_until = 0.0
+        self.bytes_sent = 0
+        self.messages_sent = 0
+        self._meter = UtilizationMeter(env)
+
+    def reserve(self, size_bytes: float) -> float:
+        """Reserve pipe time for a message; return its total delay.
+
+        The delay covers queueing behind in-flight traffic, transmission,
+        and propagation.  Callers ``yield env.timeout(delay)``.
+        """
+        if size_bytes < 0:
+            raise ValueError("size must be non-negative")
+        now = self.env.now
+        start = max(now, self._busy_until)
+        transmission = size_bytes / self.bandwidth_bps
+        self._busy_until = start + transmission
+        self.bytes_sent += size_bytes
+        self.messages_sent += 1
+        self._meter.record(size_bytes)
+        return (start - now) + transmission + self.latency_s
+
+    def utilization(self) -> float:
+        """Recent offered load as a fraction of capacity (can exceed 1)."""
+        return self._meter.rate() / self.bandwidth_bps
+
+    @property
+    def backlog_s(self) -> float:
+        """Seconds of traffic currently queued on the pipe."""
+        return max(0.0, self._busy_until - self.env.now)
+
+    def is_saturated(self, threshold: float = 0.9) -> bool:
+        return self.utilization() >= threshold
+
+    def __repr__(self) -> str:
+        return (f"<Link {self.name} {self.bandwidth_bps / MBPS:.0f}Mb/s "
+                f"util={self.utilization():.2f}>")
+
+
+class AccessLink(Link):
+    """Bandwidth into the system — e.g. the Ethernet segment feeding one
+    front end, or the shared 10 Mb/s segment to the modem bank."""
+
+
+class Network:
+    """The SAN: one interior pipe plus per-endpoint access links.
+
+    ``transfer`` computes a message delay over the interior pipe;
+    :class:`~repro.sim.multicast.MulticastGroup` consults
+    :meth:`multicast_drop_probability` to decide whether an unreliable
+    datagram survives (the paper observed beacon loss under SAN
+    saturation, Section 4.6).
+    """
+
+    #: Utilization above which unreliable datagrams start dropping, and the
+    #: utilization at which nearly all drop.  Chosen so a 100 Mb/s SAN never
+    #: drops under TranSend-scale control traffic while a 10 Mb/s SAN
+    #: saturated by data traffic loses most beacons — the paper's observed
+    #: behaviour.
+    DROP_START = 0.75
+    DROP_FULL = 1.25
+    MAX_DROP = 0.95
+
+    def __init__(
+        self,
+        env: Environment,
+        bandwidth_bps: float = 100 * MBPS,
+        latency_s: float = 0.0005,
+    ) -> None:
+        self.env = env
+        self.san = Link(env, "SAN", bandwidth_bps, latency_s)
+        self.access_links: Dict[str, AccessLink] = {}
+        #: Section 4.6's proposed fix: "the addition of a low-speed
+        #: utility network to isolate control traffic from data traffic,
+        #: allowing the system to more gracefully handle (and perhaps
+        #: avoid) SAN saturation."  When present, control datagrams
+        #: (beacons, load reports) ride here instead of the SAN.
+        self.utility: Optional[Link] = None
+
+    def add_utility_network(self, bandwidth_bps: float = 10 * MBPS,
+                            latency_s: float = 0.001) -> Link:
+        """Attach the low-speed utility network for control traffic."""
+        if self.utility is not None:
+            raise ValueError("utility network already attached")
+        self.utility = Link(self.env, "utility", bandwidth_bps,
+                            latency_s)
+        return self.utility
+
+    def add_access_link(self, name: str, bandwidth_bps: float,
+                        latency_s: float = 0.001) -> AccessLink:
+        if name in self.access_links:
+            raise ValueError(f"duplicate access link {name!r}")
+        link = AccessLink(self.env, name, bandwidth_bps, latency_s)
+        self.access_links[name] = link
+        return link
+
+    def transfer_delay(self, size_bytes: float,
+                       access_link: Optional[str] = None,
+                       control: bool = False) -> float:
+        """Reserve capacity for a message and return its delivery delay.
+
+        Interior traffic crosses only the SAN; traffic entering or leaving
+        the system additionally crosses the named access link.  Control
+        traffic (``control=True``) uses the utility network when one is
+        attached.
+        """
+        if control and self.utility is not None:
+            return self.utility.reserve(size_bytes)
+        delay = self.san.reserve(size_bytes)
+        if access_link is not None:
+            delay += self.access_links[access_link].reserve(size_bytes)
+        return delay
+
+    def _control_link(self) -> Link:
+        return self.utility if self.utility is not None else self.san
+
+    def multicast_drop_probability(self) -> float:
+        """Probability an unreliable datagram is dropped right now.
+
+        Datagrams are control traffic: with a utility network attached,
+        only *its* utilization matters — data-plane saturation no longer
+        kills the beacons.
+        """
+        utilization = self._control_link().utilization()
+        if utilization <= self.DROP_START:
+            return 0.0
+        span = self.DROP_FULL - self.DROP_START
+        fraction = (utilization - self.DROP_START) / span
+        return min(self.MAX_DROP, fraction * self.MAX_DROP)
+
+    def saturated_elements(self, threshold: float = 0.9) -> Dict[str, float]:
+        """Names and utilizations of all links at or above ``threshold``."""
+        result = {}
+        if self.san.utilization() >= threshold:
+            result["SAN"] = self.san.utilization()
+        for name, link in self.access_links.items():
+            if link.utilization() >= threshold:
+                result[name] = link.utilization()
+        return result

@@ -1,0 +1,118 @@
+"""Simulated workstation nodes.
+
+A :class:`Node` models one commodity machine in the cluster (the paper's
+SPARC 10/20 and Ultra-1 boxes): a name, a CPU with a speed factor and a
+fixed number of processors, optional local disk, and a flag marking it as
+part of the dedicated pool or the overflow pool (Section 2.2.3).
+
+CPU contention is modelled with processor slots: a node with ``cpus=2``
+runs two compute bursts concurrently; further bursts queue FIFO.  Work is
+expressed in *reference seconds* (seconds on a speed-1.0 node) so
+heterogeneous clusters can be assembled, mirroring the paper's mixed
+SPARCstation generations.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, List, Optional, Set
+
+from repro.sim.kernel import Environment, Interrupt, Queue
+
+
+class NodeDown(Exception):
+    """Raised when compute is attempted on a node that is down."""
+
+
+class Node:
+    """One machine in the cluster."""
+
+    def __init__(
+        self,
+        env: Environment,
+        name: str,
+        cpus: int = 1,
+        speed: float = 1.0,
+        memory_mb: int = 256,
+        has_disk: bool = True,
+        overflow: bool = False,
+    ) -> None:
+        if cpus < 1:
+            raise ValueError("cpus must be >= 1")
+        if speed <= 0:
+            raise ValueError("speed must be positive")
+        self.env = env
+        self.name = name
+        self.cpus = cpus
+        self.speed = speed
+        self.memory_mb = memory_mb
+        self.has_disk = has_disk
+        self.overflow = overflow
+        self.up = True
+        #: components (by name) currently hosted; used by the manager when
+        #: looking for an "unused node" to spawn a new worker on.
+        self.components: Set[str] = set()
+        self._slots: Queue = env.queue()
+        for index in range(cpus):
+            self._slots.put_nowait(index)
+        #: cumulative busy reference-seconds, for utilization reporting.
+        self.busy_time = 0.0
+
+    # -- component bookkeeping ---------------------------------------------
+
+    def attach(self, component_name: str) -> None:
+        self.components.add(component_name)
+
+    def detach(self, component_name: str) -> None:
+        self.components.discard(component_name)
+
+    @property
+    def is_free(self) -> bool:
+        """True if no components are hosted here (candidate for spawning)."""
+        return self.up and not self.components
+
+    # -- failure model -------------------------------------------------------
+
+    def crash(self) -> None:
+        """Mark the node down.  Processes must be killed by the caller
+        (the :class:`~repro.sim.failures.FaultInjector` handles both)."""
+        self.up = False
+
+    def restart(self) -> None:
+        """Bring a crashed node back with cold caches and free slots."""
+        self.up = True
+
+    # -- CPU model -----------------------------------------------------------
+
+    def compute(self, work: float) -> Generator:
+        """Process generator: occupy a CPU slot for ``work`` ref-seconds.
+
+        Usage inside a component process::
+
+            yield from node.compute(0.008 * size_kb)
+
+        Raises :class:`NodeDown` if the node is down when work starts.
+        """
+        if work < 0:
+            raise ValueError("work must be non-negative")
+        if not self.up:
+            raise NodeDown(self.name)
+        slot = yield self._slots.get()
+        try:
+            if not self.up:
+                raise NodeDown(self.name)
+            duration = work / self.speed
+            yield self.env.timeout(duration)
+            self.busy_time += duration
+        finally:
+            self._slots.put_nowait(slot)
+
+    def utilization(self, elapsed: float) -> float:
+        """Fraction of capacity used over ``elapsed`` simulated seconds."""
+        if elapsed <= 0:
+            return 0.0
+        return min(1.0, self.busy_time / (elapsed * self.cpus))
+
+    def __repr__(self) -> str:
+        pool = "overflow" if self.overflow else "dedicated"
+        state = "up" if self.up else "DOWN"
+        return f"<Node {self.name} {self.cpus}cpu x{self.speed} {pool} {state}>"

@@ -1,0 +1,147 @@
+"""Named, seeded random-number streams.
+
+Every stochastic choice in the reproduction — content sizes, inter-arrival
+times, cache-miss penalties, lottery-scheduling draws, fault timing — comes
+from a named stream derived from one master seed.  Two runs with the same
+seed are bit-identical, and adding draws to one subsystem does not perturb
+another (the paper's experiments are compared across configurations, so
+cross-experiment determinism matters).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+import random
+from typing import Dict, List, Sequence, TypeVar
+
+T = TypeVar("T")
+
+
+def _derive_seed(master_seed: int, name: str) -> int:
+    digest = hashlib.sha256(f"{master_seed}:{name}".encode()).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class Stream:
+    """One independent random stream with distribution helpers."""
+
+    def __init__(self, seed: int) -> None:
+        self._random = random.Random(seed)
+
+    # Thin pass-throughs ---------------------------------------------------
+
+    def random(self) -> float:
+        return self._random.random()
+
+    def uniform(self, low: float, high: float) -> float:
+        return self._random.uniform(low, high)
+
+    def randint(self, low: int, high: int) -> int:
+        return self._random.randint(low, high)
+
+    def choice(self, seq: Sequence[T]) -> T:
+        return self._random.choice(seq)
+
+    def shuffle(self, seq: List[T]) -> None:
+        self._random.shuffle(seq)
+
+    def sample(self, seq: Sequence[T], k: int) -> List[T]:
+        return self._random.sample(seq, k)
+
+    def gauss(self, mu: float, sigma: float) -> float:
+        return self._random.gauss(mu, sigma)
+
+    # Distributions used by the workload and latency models ----------------
+
+    def exponential(self, mean: float) -> float:
+        """Exponential variate with the given mean (not rate)."""
+        if mean <= 0:
+            raise ValueError("mean must be positive")
+        return self._random.expovariate(1.0 / mean)
+
+    def lognormal(self, mu: float, sigma: float) -> float:
+        """Log-normal variate with underlying normal (mu, sigma)."""
+        return self._random.lognormvariate(mu, sigma)
+
+    def lognormal_mean(self, mean: float, sigma: float) -> float:
+        """Log-normal variate with a target arithmetic *mean*.
+
+        Content sizes in the paper are reported as means (HTML 5131 B,
+        GIF 3428 B, JPEG 12070 B); this helper converts a desired mean and
+        shape into the underlying mu.
+        """
+        if mean <= 0:
+            raise ValueError("mean must be positive")
+        mu = math.log(mean) - sigma * sigma / 2.0
+        return self._random.lognormvariate(mu, sigma)
+
+    def pareto(self, alpha: float, minimum: float) -> float:
+        """Bounded-below Pareto variate (heavy tail for miss penalties)."""
+        if alpha <= 0 or minimum <= 0:
+            raise ValueError("alpha and minimum must be positive")
+        return minimum * (self._random.paretovariate(alpha))
+
+    def zipf_rank(self, n: int, alpha: float = 1.0) -> int:
+        """Draw a 0-based rank from a Zipf(alpha) distribution over n items.
+
+        Uses inverse-CDF over precomputed weights is O(n) to build, so we
+        use rejection-free approximate inversion adequate for workload
+        generation (document popularity for the cache study).
+        """
+        if n <= 0:
+            raise ValueError("n must be positive")
+        # Approximate inversion: harmonic CDF sampled by bisection on the
+        # continuous relaxation, then clamped.
+        u = self._random.random()
+        if alpha == 1.0:
+            h_n = math.log(n) + 0.5772156649
+            x = math.exp(u * h_n)
+        else:
+            c = (n ** (1.0 - alpha) - 1.0) / (1.0 - alpha)
+            x = (u * c * (1.0 - alpha) + 1.0) ** (1.0 / (1.0 - alpha))
+        # x is a continuous rank on [1, ~n]; shift to 0-based
+        rank = int(x) - 1
+        return max(0, min(n - 1, rank))
+
+    def weighted_choice(self, items: Sequence[T],
+                        weights: Sequence[float]) -> T:
+        """Lottery draw: pick one item with probability ∝ weight.
+
+        This is exactly the paper's lottery-scheduling primitive
+        (Waldspurger & Weihl [63]) used by the manager stub to pick a
+        distiller for each request.
+        """
+        if len(items) != len(weights):
+            raise ValueError("items and weights length mismatch")
+        total = float(sum(weights))
+        if total <= 0:
+            raise ValueError("total weight must be positive")
+        ticket = self._random.random() * total
+        cumulative = 0.0
+        for item, weight in zip(items, weights):
+            cumulative += weight
+            if ticket < cumulative:
+                return item
+        return items[-1]
+
+
+class RandomStreams:
+    """Factory of named :class:`Stream` objects from one master seed."""
+
+    def __init__(self, master_seed: int = 1997) -> None:
+        self.master_seed = int(master_seed)
+        self._streams: Dict[str, Stream] = {}
+
+    def stream(self, name: str) -> Stream:
+        """Return the stream for ``name``, creating it deterministically."""
+        if name not in self._streams:
+            self._streams[name] = Stream(_derive_seed(self.master_seed, name))
+        return self._streams[name]
+
+    def __getitem__(self, name: str) -> Stream:
+        return self.stream(name)
+
+    def fork(self, name: str) -> "RandomStreams":
+        """Derive an independent sub-factory (e.g. one per experiment run)."""
+        return RandomStreams(_derive_seed(self.master_seed, f"fork:{name}"))

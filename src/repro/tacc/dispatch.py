@@ -1,0 +1,78 @@
+"""Service-specific dispatch: from request to pipeline.
+
+"The manager stub linked to the front ends provides support for
+implementing the dispatch logic that selects which worker type(s) are
+needed to satisfy a request; since the dispatch logic is independent of
+the core load balancing and fault tolerance mechanisms, a variety of
+services can be built using the same set of workers" (Section 2.2.5).
+
+A :class:`DispatchTable` holds ordered :class:`DispatchRule` entries;
+the first matching rule yields the pipeline.  Rules match on MIME type,
+URL substring, and/or minimum content size (TranSend's 1 KB distillation
+threshold is a ``min_size`` rule).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.tacc.content import Content
+from repro.tacc.pipeline import Pipeline
+
+
+class DispatchRule:
+    """One match clause and the pipeline it selects."""
+
+    def __init__(
+        self,
+        pipeline: Pipeline,
+        mime: Optional[str] = None,
+        url_contains: Optional[str] = None,
+        min_size: int = 0,
+        predicate: Optional[Callable[[Content], bool]] = None,
+        name: Optional[str] = None,
+    ) -> None:
+        self.pipeline = pipeline
+        self.mime = mime
+        self.url_contains = url_contains
+        self.min_size = min_size
+        self.predicate = predicate
+        self.name = name or " | ".join(pipeline.stages)
+
+    def matches(self, content: Content) -> bool:
+        if self.mime is not None and content.mime != self.mime:
+            return False
+        if (self.url_contains is not None
+                and self.url_contains not in content.url):
+            return False
+        if content.size < self.min_size:
+            return False
+        if self.predicate is not None and not self.predicate(content):
+            return False
+        return True
+
+    def __repr__(self) -> str:
+        return f"<DispatchRule {self.name}>"
+
+
+class DispatchTable:
+    """Ordered rules; first match wins; optional default pipeline."""
+
+    def __init__(self, default: Optional[Pipeline] = None) -> None:
+        self.rules: List[DispatchRule] = []
+        self.default = default
+
+    def add(self, rule: DispatchRule) -> "DispatchTable":
+        self.rules.append(rule)
+        return self
+
+    def add_rule(self, pipeline: Pipeline, **match) -> "DispatchTable":
+        return self.add(DispatchRule(pipeline, **match))
+
+    def select(self, content: Content) -> Optional[Pipeline]:
+        """Pipeline for this content, or the default, or None
+        (None means pass the content through unmodified)."""
+        for rule in self.rules:
+            if rule.matches(content):
+                return rule.pipeline
+        return self.default

@@ -1,0 +1,68 @@
+"""Registry of worker types.
+
+The manager spawns workers *by type name* ("distillers of a particular
+class", Section 3.1.2), and front-end dispatch logic selects "which
+worker type(s) are needed to satisfy a request" (Section 2.2.5).  The
+registry is the shared namespace that makes those names meaningful: it
+maps a type name to a factory producing fresh, stateless worker
+instances.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterator, List
+
+from repro.tacc.worker import Worker
+
+WorkerFactory = Callable[[], Worker]
+
+
+class RegistryError(Exception):
+    """Unknown or duplicate worker type."""
+
+
+class WorkerRegistry:
+    """Name -> factory mapping for worker types."""
+
+    def __init__(self) -> None:
+        self._factories: Dict[str, WorkerFactory] = {}
+
+    def register(self, worker_type: str, factory: WorkerFactory) -> None:
+        if worker_type in self._factories:
+            raise RegistryError(f"worker type {worker_type!r} already "
+                                "registered")
+        self._factories[worker_type] = factory
+
+    def register_class(self, worker_class: type) -> type:
+        """Register a Worker subclass under its ``worker_type``.
+
+        Usable as a decorator::
+
+            @registry.register_class
+            class JpegDistiller(Transformer):
+                worker_type = "jpeg-distiller"
+        """
+        self.register(worker_class.worker_type, worker_class)
+        return worker_class
+
+    def create(self, worker_type: str) -> Worker:
+        try:
+            factory = self._factories[worker_type]
+        except KeyError:
+            raise RegistryError(f"unknown worker type {worker_type!r}") \
+                from None
+        worker = factory()
+        if not isinstance(worker, Worker):
+            raise RegistryError(
+                f"factory for {worker_type!r} returned {type(worker)!r}, "
+                "not a Worker")
+        return worker
+
+    def __contains__(self, worker_type: str) -> bool:
+        return worker_type in self._factories
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._factories)
+
+    def types(self) -> List[str]:
+        return sorted(self._factories)

@@ -1,0 +1,175 @@
+"""The trace playback engine (Section 4.1).
+
+"In order to realistically stress test TranSend, we created a high
+performance trace playback engine.  The engine can generate requests at a
+constant (and dynamically tunable) rate, or it can faithfully play back a
+trace according to the timestamps in the trace file."
+
+The engine is a simulation component: it submits each request to a
+*service adapter* — any callable ``submit(record) -> Event`` whose event
+fires with a response object — and records per-request outcomes for the
+analysis layer.  Three modes:
+
+* :meth:`PlaybackEngine.play` — faithful timestamps;
+* :meth:`PlaybackEngine.constant_rate` — Poisson arrivals at a fixed rate;
+* :meth:`PlaybackEngine.ramp` — a piecewise-constant rate schedule, used
+  by the Figure 8 self-tuning and Table 2 scalability experiments to
+  sweep offered load upward during a single run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+from repro.sim.kernel import Environment, Event, Interrupt
+from repro.sim.rng import Stream
+from repro.workload.trace import TraceRecord
+
+SubmitFn = Callable[[TraceRecord], Event]
+
+
+@dataclass
+class RequestOutcome:
+    """One completed (or failed) playback request."""
+
+    record: TraceRecord
+    submitted_at: float
+    completed_at: Optional[float]
+    ok: bool
+    response: Any = None
+    error: Optional[str] = None
+
+    @property
+    def latency(self) -> Optional[float]:
+        if self.completed_at is None:
+            return None
+        return self.completed_at - self.submitted_at
+
+
+class PlaybackEngine:
+    """Drives a service adapter from a trace or a rate process."""
+
+    def __init__(self, env: Environment, submit: SubmitFn,
+                 rng: Optional[Stream] = None,
+                 timeout_s: Optional[float] = None) -> None:
+        self.env = env
+        self.submit = submit
+        self.rng = rng
+        self.timeout_s = timeout_s
+        self.outcomes: List[RequestOutcome] = []
+        self.in_flight = 0
+        self.max_in_flight = 0
+
+    # -- modes ----------------------------------------------------------------
+
+    def play(self, records: Sequence[TraceRecord],
+             time_offset: float = 0.0):
+        """Process generator: faithful playback by trace timestamps."""
+        origin = records[0].timestamp if records else 0.0
+        for record in records:
+            due = time_offset + (record.timestamp - origin)
+            wait = due - self.env.now
+            if wait > 0:
+                yield self.env.timeout(wait)
+            self._launch(record)
+
+    def constant_rate(self, rate_rps: float, duration_s: float,
+                      records: Sequence[TraceRecord]):
+        """Process generator: Poisson arrivals cycling over ``records``."""
+        if self.rng is None:
+            raise ValueError("constant_rate mode requires an RNG stream")
+        if rate_rps <= 0:
+            raise ValueError("rate must be positive")
+        end = self.env.now + duration_s
+        index = 0
+        while True:
+            gap = self.rng.exponential(1.0 / rate_rps)
+            if self.env.now + gap >= end:
+                return
+            yield self.env.timeout(gap)
+            self._launch(records[index % len(records)])
+            index += 1
+
+    def ramp(self, schedule: Sequence[Tuple[float, float]],
+             records: Sequence[TraceRecord]):
+        """Process generator: rate steps given as (duration_s, rate_rps).
+
+        A rate of 0 pauses offered load for that step.
+        """
+        if self.rng is None:
+            raise ValueError("ramp mode requires an RNG stream")
+        index = 0
+        for duration_s, rate_rps in schedule:
+            if rate_rps <= 0:
+                yield self.env.timeout(duration_s)
+                continue
+            end = self.env.now + duration_s
+            while True:
+                gap = self.rng.exponential(1.0 / rate_rps)
+                if self.env.now + gap >= end:
+                    remaining = end - self.env.now
+                    if remaining > 0:
+                        yield self.env.timeout(remaining)
+                    break
+                yield self.env.timeout(gap)
+                self._launch(records[index % len(records)])
+                index += 1
+
+    # -- request lifecycle ---------------------------------------------------------
+
+    def _launch(self, record: TraceRecord) -> None:
+        self.env.process(self._request(record))
+
+    def _request(self, record: TraceRecord):
+        started = self.env.now
+        self.in_flight += 1
+        self.max_in_flight = max(self.max_in_flight, self.in_flight)
+        try:
+            response_event = self.submit(record)
+            if self.timeout_s is not None:
+                timer = self.env.timeout(self.timeout_s)
+                condition = yield self.env.any_of([response_event, timer])
+                if response_event not in condition:
+                    self.outcomes.append(RequestOutcome(
+                        record=record, submitted_at=started,
+                        completed_at=None, ok=False, error="timeout"))
+                    return
+                response = condition[response_event]
+            else:
+                response = yield response_event
+            self.outcomes.append(RequestOutcome(
+                record=record, submitted_at=started,
+                completed_at=self.env.now, ok=True, response=response))
+        except Interrupt:
+            raise
+        except Exception as error:  # adapter-level failure
+            self.outcomes.append(RequestOutcome(
+                record=record, submitted_at=started, completed_at=None,
+                ok=False, error=f"{type(error).__name__}: {error}"))
+        finally:
+            self.in_flight -= 1
+
+    # -- summary -------------------------------------------------------------------
+
+    def completed(self) -> List[RequestOutcome]:
+        return [outcome for outcome in self.outcomes if outcome.ok]
+
+    def failed(self) -> List[RequestOutcome]:
+        return [outcome for outcome in self.outcomes if not outcome.ok]
+
+    def latencies(self) -> List[float]:
+        return [outcome.latency for outcome in self.completed()
+                if outcome.latency is not None]
+
+    def throughput(self, window_s: float) -> float:
+        """Completed requests/second over the trailing window."""
+        if window_s <= 0:
+            raise ValueError("window must be positive")
+        horizon = self.env.now - window_s
+        recent = [
+            outcome for outcome in self.outcomes
+            if outcome.ok and outcome.completed_at is not None
+            and outcome.completed_at >= horizon
+        ]
+        return len(recent) / window_s

@@ -1,0 +1,76 @@
+"""Trace records and trace files.
+
+One :class:`TraceRecord` is one HTTP request as the paper's packet-filter
+tracer captured it: a timestamp, an (anonymized) client, a URL, the MIME
+type the collector inferred, and the content length.  Traces serialize to
+a simple tab-separated format so generated workloads can be saved once
+and replayed across experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One traced HTTP request."""
+
+    timestamp: float
+    client_id: str
+    url: str
+    mime: str
+    size_bytes: int
+
+    def to_line(self) -> str:
+        return "\t".join([
+            f"{self.timestamp:.6f}",
+            self.client_id,
+            self.url,
+            self.mime,
+            str(self.size_bytes),
+        ])
+
+    @classmethod
+    def from_line(cls, line: str) -> "TraceRecord":
+        parts = line.rstrip("\n").split("\t")
+        if len(parts) != 5:
+            raise ValueError(f"malformed trace line: {line!r}")
+        return cls(
+            timestamp=float(parts[0]),
+            client_id=parts[1],
+            url=parts[2],
+            mime=parts[3],
+            size_bytes=int(parts[4]),
+        )
+
+
+def save_trace(records: Iterable[TraceRecord], path: str) -> int:
+    """Write records to ``path``; returns the count written."""
+    count = 0
+    with open(path, "w", encoding="utf-8") as handle:
+        for record in records:
+            handle.write(record.to_line() + "\n")
+            count += 1
+    return count
+
+
+def load_trace(path: str) -> List[TraceRecord]:
+    """Read a trace file written by :func:`save_trace`."""
+    records = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            if line.strip():
+                records.append(TraceRecord.from_line(line))
+    return records
+
+
+def iter_window(records: List[TraceRecord], start: float,
+                end: float) -> Iterator[TraceRecord]:
+    """Records with start <= timestamp < end (records must be sorted)."""
+    for record in records:
+        if record.timestamp >= end:
+            break
+        if record.timestamp >= start:
+            yield record

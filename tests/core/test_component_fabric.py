@@ -1,0 +1,196 @@
+"""Unit tests for Component life cycle, SNSFabric edges, FrontEnd
+mechanics, and SNSConfig validation."""
+
+import pytest
+
+from repro.core.config import SNSConfig
+from repro.core.component import Component
+from repro.core.fabric import FabricError
+from repro.core.frontend import Response
+from repro.core.messages import ManagerBeacon, WorkerAdvert
+from repro.sim.cluster import Cluster
+
+from tests.core.conftest import fast_config, make_fabric, make_record
+
+
+class TickerComponent(Component):
+    """Minimal concrete component for life-cycle tests."""
+
+    kind = "ticker"
+
+    def __init__(self, cluster, node, name):
+        super().__init__(cluster, node, name)
+        self.ticks = 0
+
+    def _start_processes(self):
+        self.spawn(self._tick())
+
+    def _tick(self):
+        while True:
+            yield self.env.timeout(1.0)
+            self.ticks += 1
+
+
+def make_component():
+    cluster = Cluster(seed=1)
+    node = cluster.add_node("n0")
+    return cluster, TickerComponent(cluster, node, "ticker-1")
+
+
+# -- component life cycle ----------------------------------------------------
+
+def test_start_attaches_and_runs():
+    cluster, component = make_component()
+    component.start()
+    assert component.alive
+    assert "ticker-1" in component.node.components
+    cluster.run(until=5.5)
+    assert component.ticks == 5
+
+
+def test_double_start_rejected():
+    cluster, component = make_component()
+    component.start()
+    with pytest.raises(RuntimeError):
+        component.start()
+
+
+def test_kill_detaches_stops_and_is_idempotent():
+    cluster, component = make_component()
+    component.start()
+    cluster.run(until=3.5)
+    component.kill()
+    assert not component.alive
+    assert component.killed_at == 3.5
+    assert "ticker-1" not in component.node.components
+    ticks_at_death = component.ticks
+    cluster.run(until=10.0)
+    assert component.ticks == ticks_at_death
+    component.kill()  # second kill is a no-op
+    assert component.killed_at == 3.5
+
+
+def test_on_death_callbacks_fire():
+    cluster, component = make_component()
+    deaths = []
+    component.on_death(deaths.append)
+    component.start()
+    component.kill()
+    assert deaths == [component]
+
+
+def test_spawn_prunes_dead_processes():
+    cluster, component = make_component()
+    component.start()
+
+    def one_shot(env):
+        yield env.timeout(0.1)
+
+    for _ in range(200):
+        component.spawn(one_shot(cluster.env))
+        cluster.run(until=cluster.env.now + 0.2)
+    assert len(component._procs) < 100
+
+
+# -- fabric edges -----------------------------------------------------------------
+
+def test_fabric_double_manager_rejected(fabric):
+    fabric.start_manager()
+    with pytest.raises(FabricError):
+        fabric.start_manager()
+
+
+def test_fabric_unknown_worker_type_rejected(fabric):
+    with pytest.raises(FabricError):
+        fabric.spawn_worker("no-such-type")
+
+
+def test_fabric_placement_on_down_node_rejected(fabric):
+    node = fabric.cluster.node("node0")
+    node.crash()
+    with pytest.raises(FabricError):
+        fabric.start_frontend(node=node)
+
+
+def test_fabric_submit_with_no_frontends_never_fires(fabric):
+    reply = fabric.submit(make_record())
+    fabric.cluster.run(until=5.0)
+    assert not reply.triggered
+
+
+def test_fabric_restart_manager_noop_when_alive(fabric):
+    fabric.start_manager()
+    assert fabric.restart_manager() is False
+    assert fabric.manager_restarts == 0
+
+
+def test_fabric_worker_names_are_unique(fabric):
+    fabric.boot(n_frontends=0, initial_workers={"test-worker": 3},
+                with_monitor=False)
+    names = list(fabric.workers)
+    assert len(names) == len(set(names))
+    assert all(name.startswith("test-worker.") for name in names)
+
+
+# -- front end mechanics -------------------------------------------------------------
+
+def test_dead_frontend_swallows_requests(fabric):
+    fabric.boot(n_frontends=1, initial_workers={"test-worker": 1})
+    fabric.cluster.run(until=2.0)
+    frontend = next(iter(fabric.frontends.values()))
+    frontend.kill()
+    reply = frontend.submit(make_record())
+    fabric.cluster.run(until=10.0)
+    assert not reply.triggered
+
+
+def test_thread_pool_bounds_concurrency():
+    fabric = make_fabric(config=fast_config(frontend_threads=2,
+                                            dispatch_timeout_s=30.0))
+    fabric.boot(n_frontends=1, initial_workers={"test-worker": 1})
+    fabric.cluster.run(until=2.0)
+    frontend = next(iter(fabric.frontends.values()))
+    for index in range(10):
+        frontend.submit(make_record(index))
+    fabric.cluster.run(until=fabric.cluster.env.now + 0.2)
+    assert frontend.active_requests <= 2
+
+
+def test_response_ok_property():
+    assert Response(status="ok", path="x").ok
+    assert Response(status="fallback", path="x").ok
+    assert not Response(status="error", path="x").ok
+
+
+# -- config validation ------------------------------------------------------------------
+
+@pytest.mark.parametrize("overrides", [
+    {"beacon_interval_s": 0.0},
+    {"spawn_threshold": 0.0},
+    {"spawn_damping_s": -1.0},
+    {"load_ewma_alpha": 0.0},
+    {"load_ewma_alpha": 1.5},
+    {"dispatch_attempts": 0},
+    {"frontend_threads": 0},
+])
+def test_config_validation_rejects_bad_values(overrides):
+    with pytest.raises(ValueError):
+        SNSConfig(**overrides).validate()
+
+
+def test_config_validate_returns_self():
+    config = SNSConfig()
+    assert config.validate() is config
+
+
+# -- messages ---------------------------------------------------------------------------
+
+def test_beacon_adverts_of_type():
+    adverts = {
+        "a": WorkerAdvert("a", "type-1", "n0", None, 0.0, 0.0),
+        "b": WorkerAdvert("b", "type-2", "n0", None, 0.0, 0.0),
+        "c": WorkerAdvert("c", "type-1", "n1", None, 0.0, 0.0),
+    }
+    beacon = ManagerBeacon("m", 1, None, 0.0, adverts)
+    selected = beacon.adverts_of_type("type-1")
+    assert set(selected) == {"a", "c"}

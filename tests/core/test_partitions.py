@@ -1,0 +1,80 @@
+"""Tests for SAN-partition faults (Section 2.2.4).
+
+"If the condition that caused the timeout can be automatically resolved
+(e.g., if workers lost because of a SAN partition can be restarted on
+still-visible nodes), the manager performs the necessary actions."
+"""
+
+import pytest
+
+from repro.sim.failures import FaultInjector
+from repro.sim.rng import RandomStreams
+from repro.workload.playback import PlaybackEngine
+
+from tests.core.conftest import fast_config, make_fabric, make_record
+
+
+def test_partitioned_worker_is_unreachable_then_returns(fabric):
+    fabric.boot(n_frontends=1, initial_workers={"test-worker": 2})
+    fabric.cluster.run(until=2.0)
+    victim = fabric.alive_workers()[0]
+    victim.partition(10.0)
+    assert victim.is_partitioned
+    assert victim.alive  # alive, just unreachable
+    fabric.cluster.run(until=4.0)
+    # the manager saw the broken connection and dropped it
+    assert victim.name not in fabric.manager.workers
+    # after the heal, the worker re-registers off the next beacon
+    fabric.cluster.run(until=20.0)
+    assert not victim.is_partitioned
+    assert victim.name in fabric.manager.workers
+
+
+def test_manager_replaces_partitioned_worker_under_load():
+    """The paper's scenario: load continues, the manager restarts the
+    lost class on still-visible nodes."""
+    fabric = make_fabric(n_nodes=10,
+                         config=fast_config(spawn_damping_s=3.0))
+    fabric.boot(n_frontends=1, initial_workers={"test-worker": 1})
+    fabric.cluster.run(until=2.0)
+    engine = PlaybackEngine(
+        fabric.cluster.env, fabric.submit,
+        rng=RandomStreams(9).stream("pb"), timeout_s=20.0)
+    pool = [make_record(i) for i in range(20)]
+    fabric.cluster.env.process(engine.constant_rate(15.0, 40.0, pool))
+    victim = fabric.alive_workers()[0]
+    injector = FaultInjector(fabric.cluster.env)
+    injector.partition_at(10.0, victim, duration_s=20.0)
+    fabric.cluster.run(until=60.0)
+    assert any(record.kind == "partition" for record in injector.log)
+    # a replacement was spawned on a reachable node during the partition
+    assert fabric.manager.spawns >= 1
+    # service availability held
+    assert len(engine.completed()) > 0.9 * len(engine.outcomes)
+    # after healing, both the victim and its replacement are registered
+    names = set(fabric.manager.workers)
+    assert victim.name in names
+    assert len(names) >= 2
+
+
+def test_requests_to_partitioned_worker_time_out(fabric):
+    fabric.boot(n_frontends=1, initial_workers={"test-worker": 1})
+    fabric.cluster.run(until=2.0)
+    victim = fabric.alive_workers()[0]
+    served_before = victim.served
+    victim.partition(30.0)
+    reply = fabric.submit(make_record())
+    response = fabric.cluster.env.run(until=reply)
+    # the FE retried / fell back; the partitioned worker served nothing
+    assert victim.served == served_before
+    assert response is not None
+
+
+def test_partition_extends_not_shrinks(fabric):
+    fabric.boot(n_frontends=1, initial_workers={"test-worker": 1})
+    fabric.cluster.run(until=2.0)
+    victim = fabric.alive_workers()[0]
+    victim.partition(30.0)
+    victim.partition(5.0)  # shorter request must not shorten the cut
+    fabric.cluster.run(until=10.0)
+    assert victim.is_partitioned

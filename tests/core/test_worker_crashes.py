@@ -1,0 +1,105 @@
+"""Tests for undisciplined worker-code crashes (Section 2.2.5).
+
+"The minimal restrictions on worker code allow worker authors to focus
+instead on the content of the service, even using off-the-shelf code ...
+[worker code] can, in fact, crash without taking the system down."
+"""
+
+import pytest
+
+from repro.core.fabric import SNSFabric
+from repro.sim.cluster import Cluster
+from repro.tacc.registry import WorkerRegistry
+from repro.tacc.worker import Transformer
+
+from tests.core.conftest import DispatchService, fast_config, make_record
+
+
+class BuggyWorker(Transformer):
+    """Off-the-shelf code with a latent crash bug."""
+
+    worker_type = "test-worker"  # same type the DispatchService uses
+
+    def work_estimate(self, request):
+        return 0.02
+
+    def transform(self, content, request):
+        if b"crashme" in request.content.url.encode() or \
+                "crashme" in request.content.url:
+            raise ZeroDivisionError("segfault stand-in")
+        return content.derive(content.data[: max(1, content.size // 2)],
+                              worker=self.worker_type)
+
+    def simulate(self, request):
+        return self.transform(request.content, request)
+
+
+def make_buggy_fabric():
+    cluster = Cluster(seed=12)
+    cluster.add_nodes(8)
+    registry = WorkerRegistry()
+    registry.register_class(BuggyWorker)
+    fabric = SNSFabric(cluster, registry,
+                       fast_config(spawn_damping_s=2.0),
+                       DispatchService())
+    return fabric
+
+
+def crash_record():
+    from repro.workload.trace import TraceRecord
+    return TraceRecord(0.0, "c", "http://site/crashme.jpg",
+                       "image/jpeg", 4096)
+
+
+def test_worker_code_crash_kills_worker_not_system():
+    fabric = make_buggy_fabric()
+    fabric.boot(n_frontends=1, initial_workers={"test-worker": 2})
+    fabric.cluster.run(until=2.0)
+    victim_pool = fabric.alive_workers("test-worker")
+    assert len(victim_pool) == 2
+    # the poisoned request crashes whichever worker draws it — and the
+    # front end's timeout retry feeds it to the second worker too (the
+    # paper saw exactly this: its HTML distiller "had been restarted
+    # several times over a period of hours" by pathological pages)
+    reply = fabric.submit(crash_record())
+    fabric.cluster.run(until=20.0)
+    dead = sum(1 for stub in victim_pool if not stub.alive)
+    assert 1 <= dead <= 2
+    # the manager noticed through the broken connections
+    assert fabric.manager.worker_failures_detected >= 1
+    # the client got an answer (timeout -> retry -> fallback)
+    assert reply.triggered
+    # a clean request triggers on-demand respawn and gets served
+    ok = fabric.cluster.env.run(until=fabric.submit(make_record()))
+    assert ok.status in ("ok", "fallback")
+    assert fabric.alive_workers("test-worker")
+
+
+def test_repeated_poison_requests_do_not_wedge_the_service():
+    """A crash-inducing URL arriving repeatedly kills workers as fast as
+    they touch it, but on-demand respawn keeps the class alive and
+    clean requests keep flowing."""
+    fabric = make_buggy_fabric()
+    fabric.boot(n_frontends=1, initial_workers={"test-worker": 1})
+    fabric.cluster.run(until=2.0)
+
+    def mixed_load(env):
+        for index in range(15):
+            yield env.timeout(2.0)
+            if index % 3 == 0:
+                fabric.submit(crash_record())
+            else:
+                fabric.submit(make_record(index))
+
+    fabric.cluster.env.process(mixed_load(fabric.cluster.env))
+    fabric.cluster.run(until=80.0)
+    # workers were killed repeatedly and respawned repeatedly
+    assert fabric.manager.spawns >= 3
+    assert fabric.manager.worker_failures_detected >= 3
+    # clean requests were answered throughout (served or fallback)
+    frontend = next(iter(fabric.frontends.values()))
+    assert frontend.responses_sent >= 14
+    # once the poison stops, the next clean request restores the class
+    ok = fabric.cluster.env.run(until=fabric.submit(make_record()))
+    assert ok.status == "ok"
+    assert fabric.alive_workers("test-worker")

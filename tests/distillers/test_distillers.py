@@ -1,0 +1,187 @@
+"""Tests for the three TranSend distillers and the latency model."""
+
+import pytest
+
+from repro.distillers.base import DistillerLatencyModel
+from repro.distillers.gif import GifDistiller
+from repro.distillers.html import HtmlMunger
+from repro.distillers.images import SyntheticImage, generate_photo
+from repro.distillers.jpeg import JpegDistiller
+from repro.sim.rng import RandomStreams
+from repro.tacc.content import MIME_GIF, MIME_HTML, MIME_JPEG, Content
+from repro.tacc.worker import TACCRequest, WorkerError
+
+
+@pytest.fixture
+def rng():
+    return RandomStreams(7).stream("distillers")
+
+
+@pytest.fixture
+def photo(rng):
+    return generate_photo(rng, width=160, height=120)
+
+
+def gif_content(photo, url="http://x/pic.gif"):
+    return Content(url, MIME_GIF, photo.encode_gif())
+
+
+def jpeg_content(photo, url="http://x/pic.jpg", quality=90):
+    return Content(url, MIME_JPEG, photo.encode_jpeg(quality))
+
+
+def request_for(content, **params):
+    return TACCRequest(inputs=[content], params=params, user_id="u1")
+
+
+# -- GIF distiller --------------------------------------------------------------
+
+def test_gif_distiller_converts_to_smaller_jpeg(photo):
+    content = gif_content(photo)
+    result = GifDistiller().run(request_for(content, scale=2, quality=25))
+    assert result.mime == MIME_JPEG
+    assert result.size < content.size / 3
+    assert result.metadata["derived_by"] == "gif-distiller"
+    decoded, _, quality = SyntheticImage.decode(result.data)
+    assert quality == 25
+    assert decoded.width == photo.width // 2
+
+
+def test_gif_distiller_uses_profile_parameters(photo):
+    content = gif_content(photo)
+    request = TACCRequest(inputs=[content], params={},
+                          profile={"scale": 4, "quality": 10})
+    result = GifDistiller().run(request)
+    decoded, _, quality = SyntheticImage.decode(result.data)
+    assert quality == 10
+    assert decoded.width == photo.width // 4
+
+
+def test_gif_distiller_rejects_pathological_input():
+    bad = Content("http://x/error.gif", MIME_GIF,
+                  b"<html>404 not found</html>")
+    with pytest.raises(WorkerError):
+        GifDistiller().run(request_for(bad))
+
+
+def test_gif_distiller_rejects_jpeg_coded_bytes(photo):
+    mislabeled = Content("http://x/fake.gif", MIME_GIF,
+                         photo.encode_jpeg(80))
+    with pytest.raises(WorkerError):
+        GifDistiller().run(request_for(mislabeled))
+
+
+# -- JPEG distiller ------------------------------------------------------------------
+
+def test_jpeg_distiller_shrinks(photo):
+    content = jpeg_content(photo, quality=95)
+    result = JpegDistiller().run(request_for(content, scale=2, quality=25))
+    assert result.mime == MIME_JPEG
+    assert result.size < content.size
+    assert result.reduction_factor() > 2.0
+
+
+def test_jpeg_distiller_low_pass_option(photo):
+    content = jpeg_content(photo, quality=95)
+    plain = JpegDistiller().run(
+        request_for(content, scale=1, quality=50))
+    smoothed = JpegDistiller().run(
+        request_for(content, scale=1, quality=50, low_pass_radius=2))
+    # smoothing strictly helps the entropy coder
+    assert smoothed.size < plain.size
+
+
+def test_jpeg_distiller_rejects_gif_bytes(photo):
+    mislabeled = Content("http://x/fake.jpg", MIME_JPEG,
+                         photo.encode_gif())
+    with pytest.raises(WorkerError):
+        JpegDistiller().run(request_for(mislabeled))
+
+
+def test_jpeg_distiller_rejects_garbage():
+    with pytest.raises(WorkerError):
+        JpegDistiller().run(request_for(
+            Content("http://x/p.jpg", MIME_JPEG, b"not an image")))
+
+
+# -- HTML munger ------------------------------------------------------------------------
+
+PAGE = b"""<html><head><title>T</title></head><body>
+<p>hello</p>
+<img src="http://x/a.gif" alt="a">
+<img src='http://x/b.jpg?v=2'>
+</body></html>"""
+
+
+def test_html_munger_adds_toolbar_and_marks_images():
+    content = Content("http://x/page.html", MIME_HTML, PAGE)
+    result = HtmlMunger().run(
+        request_for(content, quality=25, scale=2))
+    html = result.data.decode()
+    assert "transend-toolbar" in html
+    assert html.count("[original]") == 2
+    assert "transend-quality=25" in html
+    assert "http://x/b.jpg?v=2&transend-quality=25" in html
+    assert result.metadata["images_marked"] == 2
+    # toolbar injected right after <body>
+    assert html.index("<body>") < html.index("transend-toolbar")
+
+
+def test_html_munger_without_body_prepends_toolbar():
+    content = Content("http://x/frag.html", MIME_HTML,
+                      b"<p>fragment</p>")
+    html = HtmlMunger().run(request_for(content)).data.decode()
+    assert html.startswith('<div class="transend-toolbar">')
+
+
+def test_html_munger_includes_user_in_prefs_link():
+    content = Content("http://x/p.html", MIME_HTML, b"<p>x</p>")
+    request = TACCRequest(inputs=[content], user_id="client42")
+    html = HtmlMunger().run(request).data.decode()
+    assert "user=client42" in html
+
+
+def test_html_munger_rejects_binary():
+    content = Content("http://x/p.html", MIME_HTML, b"\xff\xfe\x00binary")
+    with pytest.raises(WorkerError):
+        HtmlMunger().run(request_for(content))
+
+
+# -- latency models ------------------------------------------------------------------
+
+def test_latency_mean_is_linear_in_size():
+    model = DistillerLatencyModel(slope_s_per_kb=0.008, fixed_s=0.005)
+    assert model.mean(0) == pytest.approx(0.005)
+    assert model.mean(10240) == pytest.approx(0.005 + 0.08)
+    # 8 ms per additional KB
+    delta = model.mean(20480) - model.mean(10240)
+    assert delta == pytest.approx(0.08)
+
+
+def test_latency_samples_center_on_mean_with_variation(rng):
+    model = DistillerLatencyModel(slope_s_per_kb=0.008)
+    samples = [model.sample(rng, 10240) for _ in range(5000)]
+    mean = sum(samples) / len(samples)
+    assert mean == pytest.approx(model.mean(10240), rel=0.1)
+    assert max(samples) > 2 * min(samples)  # "large variation"
+
+
+def test_latency_model_validation():
+    with pytest.raises(ValueError):
+        DistillerLatencyModel(slope_s_per_kb=-1.0)
+
+
+def test_work_estimate_uses_latency_model(photo):
+    content = gif_content(photo)
+    request = request_for(content)
+    estimate = GifDistiller().work_estimate(request)
+    assert estimate == pytest.approx(
+        GifDistiller.latency_model.mean(content.size))
+
+
+def test_html_distiller_far_cheaper_than_image_distillers(photo):
+    html = Content("http://x/p.html", MIME_HTML, b"x" * 10240)
+    gif = gif_content(photo)
+    html_cost = HtmlMunger().work_estimate(request_for(html))
+    gif_cost = GifDistiller().work_estimate(request_for(gif))
+    assert html_cost < gif_cost / 5

@@ -1,0 +1,176 @@
+"""Tests for the synthetic image codec."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distillers.images import (
+    CODEC_GIF,
+    CODEC_JPEG,
+    ImageFormatError,
+    SyntheticImage,
+    generate_photo,
+    photo_sized_for,
+)
+from repro.sim.rng import RandomStreams
+
+
+@pytest.fixture
+def rng():
+    return RandomStreams(42).stream("images")
+
+
+@pytest.fixture
+def photo(rng):
+    return generate_photo(rng, width=160, height=120)
+
+
+def test_pixels_must_be_2d_uint8():
+    with pytest.raises(ValueError):
+        SyntheticImage(np.zeros((3, 3), dtype=np.float64))
+    with pytest.raises(ValueError):
+        SyntheticImage(np.zeros((3, 3, 3), dtype=np.uint8))
+    with pytest.raises(ValueError):
+        SyntheticImage(np.zeros((0, 3), dtype=np.uint8))
+
+
+def test_gif_roundtrip_is_lossless(photo):
+    data = photo.encode_gif()
+    decoded, codec, _ = SyntheticImage.decode(data)
+    assert codec == CODEC_GIF
+    assert decoded == photo
+
+
+def test_jpeg_roundtrip_preserves_dimensions_not_pixels(photo):
+    data = photo.encode_jpeg(quality=25)
+    decoded, codec, quality = SyntheticImage.decode(data)
+    assert codec == CODEC_JPEG
+    assert quality == 25
+    assert decoded.width == photo.width
+    assert decoded.height == photo.height
+    assert decoded != photo  # lossy
+
+
+def test_jpeg_quality_100_nearly_lossless(photo):
+    decoded, _, _ = SyntheticImage.decode(photo.encode_jpeg(quality=100))
+    error = np.abs(decoded.pixels.astype(int)
+                   - photo.pixels.astype(int)).max()
+    assert error <= 2
+
+
+def test_jpeg_smaller_than_gif_for_photos(photo):
+    """The property TranSend exploited by converting GIF to JPEG."""
+    assert len(photo.encode_jpeg(75)) < len(photo.encode_gif())
+
+
+def test_lower_quality_means_smaller_bytes(photo):
+    sizes = [len(photo.encode_jpeg(quality)) for quality in
+             (5, 25, 50, 75, 100)]
+    for smaller, bigger in zip(sizes, sizes[1:]):
+        assert smaller < bigger
+
+
+def test_quality_bounds_validated(photo):
+    with pytest.raises(ValueError):
+        photo.encode_jpeg(0)
+    with pytest.raises(ValueError):
+        photo.encode_jpeg(101)
+
+
+def test_scaling_reduces_dimensions(photo):
+    half = photo.scaled(2)
+    assert half.width == photo.width // 2
+    assert half.height == photo.height // 2
+    assert photo.scaled(1) == photo
+    with pytest.raises(ValueError):
+        photo.scaled(0)
+
+
+def test_scaling_below_one_pixel_clamps(rng):
+    tiny = generate_photo(rng, width=16, height=16)
+    scaled = tiny.scaled(100)
+    assert scaled.width == 1
+    assert scaled.height == 1
+
+
+def test_low_pass_smooths(photo):
+    smoothed = photo.low_pass(2)
+    assert smoothed.width == photo.width
+    # smoothing reduces local variation
+    def roughness(image):
+        return float(np.abs(np.diff(image.pixels.astype(int),
+                                    axis=1)).mean())
+    assert roughness(smoothed) < roughness(photo)
+    assert photo.low_pass(0) == photo
+    with pytest.raises(ValueError):
+        photo.low_pass(-1)
+
+
+def test_figure3_headline_reduction(rng):
+    """Scale 2x + quality 25 turns a ~10 KB image into roughly 1.5 KB
+    (the paper reports a 6.7x reduction; we accept 3x-15x)."""
+    image = photo_sized_for(rng, target_gif_bytes=10240)
+    original = image.encode_gif()
+    distilled = image.scaled(2).encode_jpeg(quality=25)
+    factor = len(original) / len(distilled)
+    assert 3.0 < factor < 15.0
+
+
+def test_decode_rejects_garbage():
+    with pytest.raises(ImageFormatError):
+        SyntheticImage.decode(b"short")
+    with pytest.raises(ImageFormatError):
+        SyntheticImage.decode(b"NOPE" + b"\x00" * 100)
+
+
+def test_decode_rejects_corrupt_payload(photo):
+    data = bytearray(photo.encode_gif())
+    data[20:] = b"garbage-not-zlib" * 4
+    with pytest.raises(ImageFormatError):
+        SyntheticImage.decode(bytes(data))
+
+
+def test_decode_rejects_wrong_payload_length(photo):
+    import struct
+    import zlib
+    header = struct.pack(">4sBIIB", b"SIMG", CODEC_GIF, 10, 10, 0)
+    payload = zlib.compress(b"\x00" * 50)  # 50 != 100
+    with pytest.raises(ImageFormatError):
+        SyntheticImage.decode(header + payload)
+
+
+def test_decode_rejects_absurd_dimensions():
+    import struct
+    header = struct.pack(">4sBIIB", b"SIMG", CODEC_GIF, 0, 10, 0)
+    with pytest.raises(ImageFormatError):
+        SyntheticImage.decode(header + b"")
+
+
+def test_photo_sized_for_hits_target(rng):
+    for target in (2048, 10240, 40960):
+        image = photo_sized_for(rng, target_gif_bytes=target)
+        actual = len(image.encode_gif())
+        assert 0.5 * target <= actual <= 2.0 * target
+    with pytest.raises(ValueError):
+        photo_sized_for(rng, target_gif_bytes=10)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    width=st.integers(8, 64),
+    height=st.integers(8, 64),
+    quality=st.integers(1, 100),
+    seed=st.integers(0, 1000),
+)
+def test_codec_roundtrip_properties(width, height, quality, seed):
+    """Any generated photo encodes and decodes with consistent geometry
+    at any quality."""
+    rng = RandomStreams(seed).stream("prop")
+    image = generate_photo(rng, width=width, height=height)
+    decoded, codec, decoded_quality = SyntheticImage.decode(
+        image.encode_jpeg(quality))
+    assert (decoded.width, decoded.height) == (width, height)
+    assert decoded_quality == quality
+    lossless, _, _ = SyntheticImage.decode(image.encode_gif())
+    assert lossless == image

@@ -1,0 +1,21 @@
+"""Quick-scale validation of the front-end state experiment."""
+
+import pytest
+
+from repro.experiments.frontend_state import run_frontend_state
+
+
+def test_littles_law_and_cache_contrast():
+    result = run_frontend_state(rate_rps=10.0, duration_s=90.0, seed=3)
+    cold = result.cold
+    hot = result.hot
+    # Little's law within tolerance on the cold arm
+    assert cold.littles_law_prediction > 0
+    assert abs(cold.mean_outstanding - cold.littles_law_prediction) \
+        < 0.5 * cold.littles_law_prediction
+    # misses dominate residence: cold state >> hot state
+    assert cold.mean_outstanding > 3 * hot.mean_outstanding
+    assert cold.mean_residence_s > hot.mean_residence_s
+    # derived counts follow the paper's 2-connections-per-request rule
+    assert cold.peak_tcp_connections == 2 * cold.peak_outstanding
+    assert "Section 4.4" in result.render()

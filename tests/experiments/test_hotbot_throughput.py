@@ -1,0 +1,20 @@
+"""Quick validation of the HotBot throughput driver."""
+
+from repro.experiments.hotbot_throughput import run_hotbot_throughput
+
+
+def test_throughput_driver_quick():
+    result = run_hotbot_throughput(offered_qps=30.0, duration_s=20.0,
+                                   n_workers=8, n_docs=1500, seed=4)
+    assert result.served_qps > 0.8 * result.offered_qps
+    assert result.p95_s < 1.0
+    assert 0.0 <= result.cache_hit_fraction <= 1.0
+    assert "queries/day" in result.render()
+
+
+def test_cache_disabled_contrast():
+    """Flushing the cache every query forces full scatter-gather: still
+    correct, but the partitions do all the work."""
+    result = run_hotbot_throughput(offered_qps=30.0, duration_s=20.0,
+                                   n_workers=8, n_docs=1500, seed=4)
+    assert result.cache_hit_fraction > 0.2  # Zipf queries repeat

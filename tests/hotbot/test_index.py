@@ -1,0 +1,167 @@
+"""Tests for the corpus, inverted index, and partitioning."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hotbot.documents import Corpus, Document
+from repro.hotbot.index import InvertedIndex, merge_hits
+from repro.hotbot.partition import PartitionMap
+from repro.sim.rng import RandomStreams
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return Corpus(n_docs=300, vocabulary_size=500, seed=5)
+
+
+@pytest.fixture(scope="module")
+def index(corpus):
+    return InvertedIndex(total_corpus_size=len(corpus)).add_all(corpus)
+
+
+# -- corpus -------------------------------------------------------------------
+
+def test_corpus_deterministic():
+    first = Corpus(n_docs=20, seed=9)
+    second = Corpus(n_docs=20, seed=9)
+    assert [d.terms for d in first] == [d.terms for d in second]
+    third = Corpus(n_docs=20, seed=10)
+    assert [d.terms for d in first] != [d.terms for d in third]
+
+
+def test_corpus_term_skew(corpus):
+    """Zipf vocabulary: w0 appears in far more documents than w400."""
+    def document_frequency(term):
+        return sum(1 for doc in corpus if doc.tf(term) > 0)
+
+    assert document_frequency("w0") > 5 * max(1, document_frequency("w400"))
+
+
+def test_corpus_validates():
+    with pytest.raises(ValueError):
+        Corpus(n_docs=0)
+
+
+# -- index ---------------------------------------------------------------------
+
+def test_query_returns_relevant_docs(index, corpus):
+    # pick a mid-frequency term; all returned docs must contain it
+    hits = index.query(["w50"], k=5)
+    assert hits
+    docs_by_id = {doc.doc_id: doc for doc in corpus}
+    for hit in hits:
+        assert docs_by_id[hit.doc_id].tf("w50") > 0
+
+
+def test_query_scores_sorted_descending(index):
+    hits = index.query(["w10", "w20"], k=20)
+    scores = [hit.score for hit in hits]
+    assert scores == sorted(scores, reverse=True)
+
+
+def test_query_unknown_term_empty(index):
+    assert index.query(["nonexistent-term"], k=5) == []
+
+
+def test_query_k_validated(index):
+    with pytest.raises(ValueError):
+        index.query(["w1"], k=0)
+
+
+def test_rare_terms_outweigh_common(index, corpus):
+    """idf: a doc matching a rare term scores above one matching only a
+    stopword-like common term."""
+    # find a rare and a common term
+    from collections import Counter
+    df = Counter()
+    for doc in corpus:
+        for term, _ in doc.terms:
+            df[term] += 1
+    common = df.most_common(1)[0][0]
+    rare = min((t for t in df if df[t] >= 2), key=lambda t: df[t])
+    both = index.query([common, rare], k=len(corpus))
+    rare_docs = {hit.doc_id for hit in index.query([rare], k=50)}
+    # top hit for the combined query should involve the rare term
+    assert both[0].doc_id in rare_docs
+
+
+def test_duplicate_add_rejected(index, corpus):
+    with pytest.raises(ValueError):
+        index.add(corpus.documents[0])
+
+
+def test_remove_document():
+    corpus = Corpus(n_docs=10, seed=2)
+    index = InvertedIndex(total_corpus_size=10).add_all(corpus)
+    target = corpus.documents[0]
+    assert index.remove(target.doc_id)
+    assert not index.remove(target.doc_id)
+    assert index.n_documents == 9
+    for hits in [index.query([t], k=10) for t, _ in target.terms[:3]]:
+        assert all(hit.doc_id != target.doc_id for hit in hits)
+
+
+def test_postings_scanned_counts(index):
+    assert index.postings_scanned(["w0"]) > 0
+    assert index.postings_scanned(["missing"]) == 0
+
+
+# -- partition + merge: the key distributed-correctness property ------------------
+
+def test_partitioned_query_equals_global_query(corpus):
+    """Scatter-gather over partitions must return the same top-k as one
+    big index (this is what makes collation correct)."""
+    rng = RandomStreams(3).stream("pm")
+    partition_map = PartitionMap(corpus, [1.0] * 4, rng)
+    partials = [
+        partition_map.build_index(partition).query(["w5", "w17"], k=10)
+        for partition in range(4)
+    ]
+    merged = merge_hits(partials, k=10)
+    global_index = InvertedIndex(total_corpus_size=len(corpus)).add_all(
+        corpus)
+    expected = global_index.query(["w5", "w17"], k=10)
+    assert [h.doc_id for h in merged] == [h.doc_id for h in expected]
+
+
+def test_partition_sizes_follow_weights(corpus):
+    rng = RandomStreams(3).stream("pm")
+    partition_map = PartitionMap(corpus, [3.0, 1.0], rng)
+    big, small = partition_map.partition_sizes()
+    assert big + small == len(corpus)
+    assert big > 1.8 * small  # proportional to CPU power
+
+
+def test_coverage_without_failed_partitions(corpus):
+    rng = RandomStreams(3).stream("pm")
+    partition_map = PartitionMap(corpus, [1.0] * 26, rng)
+    coverage = partition_map.coverage_without([0])
+    # 26 nodes, lose 1: 54M -> ~51M, i.e. ~96% coverage
+    assert coverage == pytest.approx(25 / 26, abs=0.02)
+    assert partition_map.coverage_without([]) == 1.0
+
+
+def test_partition_map_validates(corpus):
+    rng = RandomStreams(3).stream("pm")
+    with pytest.raises(ValueError):
+        PartitionMap(corpus, [], rng)
+    with pytest.raises(ValueError):
+        PartitionMap(corpus, [1.0, -1.0], rng)
+
+
+@settings(max_examples=20, deadline=None)
+@given(n_partitions=st.integers(1, 8), seed=st.integers(0, 100))
+def test_merge_invariant_any_partitioning(n_partitions, seed):
+    """Property: for any random partitioning, merged scatter-gather
+    equals the global answer."""
+    corpus = Corpus(n_docs=60, vocabulary_size=100, seed=7)
+    rng = RandomStreams(seed).stream("pm")
+    partition_map = PartitionMap(corpus, [1.0] * n_partitions, rng)
+    terms = ["w3", "w8"]
+    partials = [partition_map.build_index(p).query(terms, k=8)
+                for p in range(n_partitions)]
+    merged = merge_hits(partials, k=8)
+    global_index = InvertedIndex(total_corpus_size=60).add_all(corpus)
+    expected = global_index.query(terms, k=8)
+    assert [h.doc_id for h in merged] == [h.doc_id for h in expected]

@@ -1,0 +1,121 @@
+"""Tests for HotBot's recent-searches cache and incremental delivery."""
+
+import pytest
+
+from repro.hotbot.index import SearchHit
+from repro.hotbot.query_cache import QueryCache, normalize_query
+from repro.hotbot.service import HotBot, HotBotConfig
+
+
+def hits(n):
+    return [SearchHit(i, f"http://d/{i}", float(100 - i))
+            for i in range(n)]
+
+
+# -- unit: the cache itself --------------------------------------------------
+
+def test_normalize_query_canonicalizes():
+    assert normalize_query(["B", "a", "b"]) == ("a", "b")
+    assert normalize_query(["a", "b"]) == normalize_query(["b", "A"])
+
+
+def test_miss_then_hit():
+    cache = QueryCache()
+    assert cache.get_page(["a"], 0, 10) is None
+    cache.store(["a"], hits(50))
+    page = cache.get_page(["a"], 0, 10)
+    assert [hit.doc_id for hit in page] == list(range(10))
+
+
+def test_incremental_delivery_pages_from_one_fetch():
+    cache = QueryCache(depth=50)
+    cache.store(["a"], hits(50))
+    page2 = cache.get_page(["a"], 10, 10)
+    assert [hit.doc_id for hit in page2] == list(range(10, 20))
+    assert cache.incremental_hits == 1
+
+
+def test_shallow_cached_list_misses_deep_pages():
+    cache = QueryCache(depth=100)
+    cache.store(["a"], hits(100))
+    # asking past the cached depth cannot be served
+    assert cache.get_page(["a"], 95, 10) is None
+
+
+def test_exhausted_result_list_serves_any_page():
+    """A query with only 7 total results: page 2 is validly empty."""
+    cache = QueryCache(depth=100)
+    cache.store(["rare"], hits(7))
+    assert cache.get_page(["rare"], 0, 10) == hits(7)[:10]
+    assert cache.get_page(["rare"], 10, 10) == []
+
+
+def test_validation_and_flush():
+    cache = QueryCache()
+    with pytest.raises(ValueError):
+        QueryCache(depth=0)
+    with pytest.raises(ValueError):
+        cache.get_page(["a"], -1, 10)
+    cache.store(["a"], hits(5))
+    assert cache.entries == 1
+    assert cache.flush() == 1
+    assert cache.get_page(["a"], 0, 5) is None
+
+
+def test_lru_eviction_by_bytes():
+    cache = QueryCache(capacity_bytes=96 * 60)  # room for ~60 hits
+    cache.store(["a"], hits(50))
+    cache.store(["b"], hits(50))  # evicts a
+    assert cache.get_page(["a"], 0, 10) is None
+    assert cache.get_page(["b"], 0, 10) is not None
+
+
+# -- integrated: through the HotBot front end --------------------------------------
+
+def make_hotbot(**overrides):
+    defaults = dict(n_workers=4, n_docs=400, gather_timeout_s=1.0)
+    defaults.update(overrides)
+    return HotBot(config=HotBotConfig(**defaults), seed=21)
+
+
+def test_repeated_query_served_from_cache():
+    hotbot = make_hotbot()
+    first = hotbot.run_until(hotbot.submit(["w3", "w7"]))
+    assert not first.from_cache
+    before = sum(worker.queries_served for worker in hotbot.workers)
+    second = hotbot.run_until(hotbot.submit(["w3", "w7"]))
+    assert second.from_cache
+    assert [h.doc_id for h in second.hits] == \
+        [h.doc_id for h in first.hits]
+    after = sum(worker.queries_served for worker in hotbot.workers)
+    assert after == before  # partitions untouched
+    assert hotbot.cache_served == 1
+
+
+def test_page_two_is_incremental_delivery():
+    hotbot = make_hotbot()
+    page1 = hotbot.run_until(hotbot.submit(["w3"], offset=0))
+    page2 = hotbot.run_until(hotbot.submit(["w3"], offset=10))
+    assert page2.from_cache
+    ids1 = {hit.doc_id for hit in page1.hits}
+    ids2 = {hit.doc_id for hit in page2.hits}
+    assert not ids1 & ids2  # disjoint pages
+    if page2.hits:
+        assert min(hit.score for hit in page1.hits) >= \
+            max(hit.score for hit in page2.hits)
+
+
+def test_partial_answers_are_not_cached():
+    hotbot = make_hotbot(fast_restart_s=1e9)
+    hotbot.crash_worker(0, auto_restart=False)
+    degraded = hotbot.run_until(hotbot.submit(["w3"]))
+    assert degraded.partial
+    again = hotbot.run_until(hotbot.submit(["w3"]))
+    assert not again.from_cache  # never serves a degraded snapshot
+
+
+def test_query_term_order_irrelevant_for_cache():
+    hotbot = make_hotbot()
+    hotbot.run_until(hotbot.submit(["w3", "w7"]))
+    reordered = hotbot.run_until(hotbot.submit(["w7", "w3"]))
+    assert reordered.from_cache

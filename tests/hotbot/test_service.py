@@ -1,0 +1,156 @@
+"""Tests for the HotBot cluster service: scatter-gather, degradation,
+fast restart, cross-mounting, and the ACID database."""
+
+import pytest
+
+from repro.hotbot.service import HotBot, HotBotConfig
+
+
+def make_hotbot(**config_overrides):
+    defaults = dict(n_workers=4, n_docs=400, gather_timeout_s=1.0,
+                    fast_restart_s=5.0)
+    defaults.update(config_overrides)
+    return HotBot(config=HotBotConfig(**defaults), seed=21)
+
+
+def ask(hotbot, terms=("w3", "w7"), user="u1"):
+    return hotbot.run_until(hotbot.submit(list(terms), user))
+
+
+def test_query_consults_all_partitions():
+    hotbot = make_hotbot()
+    result = ask(hotbot)
+    assert result.partitions_answered == 4
+    assert result.coverage == 1.0
+    assert not result.partial
+    assert result.hits
+    scores = [hit.score for hit in result.hits]
+    assert scores == sorted(scores, reverse=True)
+
+
+def test_query_matches_single_index_answer():
+    from repro.hotbot.index import InvertedIndex
+    hotbot = make_hotbot()
+    result = ask(hotbot, terms=("w2", "w9"))
+    global_index = InvertedIndex(
+        total_corpus_size=len(hotbot.corpus)).add_all(hotbot.corpus)
+    expected = global_index.query(["w2", "w9"], k=hotbot.config.top_k)
+    assert [h.doc_id for h in result.hits] == \
+        [h.doc_id for h in expected]
+
+
+def test_node_loss_gives_partial_answers_fast_restart():
+    """Fast-restart mode: a down node's partition is simply missing —
+    '(the database) dropping from 54M to about 51M documents' — and the
+    service stays up with partial coverage."""
+    hotbot = make_hotbot(failure_mode="fast-restart", fast_restart_s=30.0)
+    hotbot.crash_worker(0)
+    result = ask(hotbot)
+    assert result.partial
+    assert result.partitions_answered == 3
+    assert 0.6 < result.coverage < 0.95
+    assert result.hits  # still useful
+
+
+def test_fast_restart_restores_full_coverage():
+    hotbot = make_hotbot(failure_mode="fast-restart", fast_restart_s=5.0)
+    hotbot.crash_worker(1)
+    degraded = ask(hotbot)
+    assert degraded.partial
+    hotbot.run(until=hotbot.cluster.env.now + 10.0)
+    recovered = ask(hotbot)
+    assert not recovered.partial
+    assert recovered.coverage == 1.0
+
+
+def test_cross_mount_keeps_full_data_availability():
+    """Original Inktomi mode: 'when a node went down, other nodes would
+    automatically take over responsibility for that data, maintaining
+    100% data availability with graceful degradation in performance.'"""
+    hotbot = make_hotbot(failure_mode="cross-mount")
+    hotbot.crash_worker(0, auto_restart=False)
+    result = ask(hotbot)
+    assert not result.partial
+    assert result.coverage == 1.0
+    assert result.served_by_replica == 1
+    # the replica-serving peer did extra work
+    assert any(worker.replica_queries_served > 0
+               for worker in hotbot.workers if worker.alive)
+
+
+def test_cluster_move_half_at_a_time_stays_up():
+    """The February 1997 move: 'HotBot was physically moved ... without
+    ever being down, by moving half of the cluster at a time.'"""
+    hotbot = make_hotbot(n_workers=6, failure_mode="fast-restart",
+                         fast_restart_s=1e9)  # trucks are slow
+    # first half leaves
+    for partition in (0, 1, 2):
+        hotbot.crash_worker(partition, auto_restart=False)
+    mid_move = ask(hotbot)
+    assert mid_move.partial and mid_move.hits
+    assert mid_move.coverage > 0.3
+    # first half arrives and restarts; second half leaves
+    for partition in (0, 1, 2):
+        hotbot.cluster.env.process(hotbot._fast_restart(partition))
+    hotbot.config.fast_restart_s = 1.0
+    hotbot.run(until=hotbot.cluster.env.now + 5.0)
+    # note: the _fast_restart scheduled above used the old huge delay;
+    # redo with quick restarts for test brevity
+    hotbot2 = make_hotbot(n_workers=6, fast_restart_s=2.0)
+    for partition in (0, 1, 2):
+        hotbot2.crash_worker(partition)
+    hotbot2.run(until=hotbot2.cluster.env.now + 5.0)
+    for partition in (3, 4, 5):
+        hotbot2.crash_worker(partition)
+    moved = ask(hotbot2)
+    assert moved.hits  # never fully down
+    hotbot2.run(until=hotbot2.cluster.env.now + 10.0)
+    final = ask(hotbot2)
+    assert not final.partial
+
+
+def test_informix_serializes_at_capacity():
+    """The ACID database serves ~400 requests/second; a burst above
+    that queues rather than degrading."""
+    hotbot = make_hotbot(db_capacity_rps=100.0)
+    env = hotbot.cluster.env
+
+    def burst(env):
+        start = env.now
+        events = [hotbot.submit(["w1"], f"user{i}") for i in range(50)]
+        yield env.all_of(events)
+        return env.now - start
+
+    elapsed = hotbot.run_until(env.process(burst(env)))
+    # 50 DB requests at 100/s => at least ~0.5 s serialized at the DB
+    assert elapsed >= 0.45
+    assert hotbot.database.requests == 50
+
+
+def test_informix_failover_blocks_then_recovers():
+    """ACID never gives approximate answers: during failover queries
+    wait, then complete."""
+    hotbot = make_hotbot(db_failover_s=3.0)
+    env = hotbot.cluster.env
+    hotbot.database.fail_primary()
+    reply = hotbot.submit(["w1"])
+    result = hotbot.run_until(reply)
+    assert result.hits is not None
+    assert env.now >= 3.0  # had to wait out the failover
+    assert hotbot.database.failovers == 1
+
+
+def test_weighted_partitions_match_node_speeds():
+    hotbot = HotBot(config=HotBotConfig(n_workers=2, n_docs=600),
+                    node_speeds=[2.0, 1.0], seed=8)
+    sizes = hotbot.partition_map.partition_sizes()
+    assert sizes[0] > 1.5 * sizes[1]
+    # faster node's bigger partition still answers in similar time:
+    # work scales with postings but speed divides it
+    result = ask(hotbot, terms=("w1",))
+    assert result.partitions_answered == 2
+
+
+def test_node_speed_mismatch_validated():
+    with pytest.raises(ValueError):
+        HotBot(config=HotBotConfig(n_workers=3), node_speeds=[1.0])

@@ -1,0 +1,109 @@
+"""Tests for fault injection."""
+
+import pytest
+
+from repro.sim.failures import FaultInjector
+from repro.sim.kernel import Environment, Interrupt
+from repro.sim.node import Node
+from repro.sim.rng import RandomStreams
+
+
+class KillableStub:
+    """Minimal object satisfying the killable protocol."""
+
+    def __init__(self, env, name):
+        self.env = env
+        self.name = name
+        self.killed_at = None
+        self.process = env.process(self._loop())
+
+    def _loop(self):
+        try:
+            while True:
+                yield self.env.timeout(1.0)
+        except Interrupt:
+            pass
+
+    def kill(self):
+        self.killed_at = self.env.now
+        if self.process.is_alive:
+            self.process.interrupt("killed")
+
+
+def test_kill_at_fires_at_requested_time():
+    env = Environment()
+    injector = FaultInjector(env)
+    target = KillableStub(env, "distiller-1")
+    injector.kill_at(42.0, target)
+    env.run(until=100.0)
+    assert target.killed_at == 42.0
+    assert len(injector.log) == 1
+    assert injector.log[0].kind == "kill"
+    assert injector.log[0].target == "distiller-1"
+
+
+def test_kill_in_the_past_rejected():
+    env = Environment()
+    injector = FaultInjector(env)
+    target = KillableStub(env, "t")
+    injector.kill_at(5.0, target)
+
+    def late(env):
+        yield env.timeout(10.0)
+        injector.kill_at(7.0, KillableStub(env, "other"))
+
+    env.process(late(env))
+    with pytest.raises(ValueError):
+        env.run(until=20.0)
+
+
+def test_crash_node_kills_components_and_restarts():
+    env = Environment()
+    injector = FaultInjector(env)
+    node = Node(env, "n0")
+    hosted = KillableStub(env, "worker-on-n0")
+    injector.crash_node_at(10.0, node, components=[hosted],
+                           restart_after=5.0)
+    env.run(until=12.0)
+    assert not node.up
+    assert hosted.killed_at == 10.0
+    env.run(until=20.0)
+    assert node.up
+    kinds = [record.kind for record in injector.log]
+    assert kinds == ["node-crash", "kill", "node-restart"]
+
+
+def test_random_kills_hit_live_targets_only():
+    env = Environment()
+    rng = RandomStreams(3).stream("faults")
+    injector = FaultInjector(env, rng)
+    population = [KillableStub(env, f"w{i}") for i in range(5)]
+
+    def provider():
+        return [t for t in population if t.killed_at is None]
+
+    injector.random_kills(provider, mtbf_s=10.0, stop_at=200.0)
+    env.run(until=200.0)
+    killed = [t for t in population if t.killed_at is not None]
+    assert killed  # with mtbf 10 s over 200 s some faults land
+    # no double kills
+    assert len(injector.log) == len(killed)
+
+
+def test_random_kills_require_rng():
+    env = Environment()
+    injector = FaultInjector(env)
+    with pytest.raises(ValueError):
+        injector.random_kills(lambda: [], mtbf_s=1.0, stop_at=10.0)
+
+
+def test_faults_before_filters_by_time():
+    env = Environment()
+    injector = FaultInjector(env)
+    first = KillableStub(env, "a")
+    second = KillableStub(env, "b")
+    injector.kill_at(5.0, first)
+    injector.kill_at(15.0, second)
+    env.run(until=20.0)
+    assert [r.target for r in injector.faults_before(10.0)] == ["a"]
+    assert [r.target for r in injector.faults_before(20.0)] == ["a", "b"]

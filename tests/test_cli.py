@@ -1,0 +1,69 @@
+"""Tests for the experiment-runner CLI."""
+
+import pytest
+
+from repro.cli import (
+    EXPERIMENTS,
+    build_parser,
+    list_experiments,
+    main,
+    run_experiment,
+)
+
+
+def test_list_mentions_every_experiment(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for name in EXPERIMENTS:
+        assert name in out
+    assert "all" in out
+
+
+def test_no_command_lists(capsys):
+    assert main([]) == 0
+    assert "available experiments" in capsys.readouterr().out
+
+
+def test_unknown_experiment_errors(capsys):
+    assert main(["run", "nonsense"]) == 2
+    err = capsys.readouterr().err
+    assert "unknown experiment" in err
+    assert "figure8" in err  # the listing is shown for help
+
+
+def test_run_quick_experiment(capsys):
+    assert main(["run", "table1", "--quick"]) == 0
+    out = capsys.readouterr().out
+    assert "Table 1" in out
+    assert "TranSend" in out
+
+
+def test_run_with_seed(capsys):
+    assert main(["run", "figure5", "--quick", "--seed", "5"]) == 0
+    out = capsys.readouterr().out
+    assert "(seed 5)" in out
+    assert "Figure 5" in out
+
+
+def test_every_experiment_has_quick_and_full_runner():
+    for name, (description, full, fast) in EXPERIMENTS.items():
+        assert description
+        assert callable(full)
+        assert callable(fast)
+
+
+@pytest.mark.parametrize("name", ["figure7", "manager", "hotbot",
+                                  "economics"])
+def test_quick_runners_produce_output(name):
+    text = run_experiment(name, seed=3, quick=True)
+    assert name in text
+    assert len(text.splitlines()) >= 3
+
+
+def test_parser_shape():
+    parser = build_parser()
+    args = parser.parse_args(["run", "figure8", "--seed", "9",
+                              "--quick"])
+    assert args.experiment == "figure8"
+    assert args.seed == 9
+    assert args.quick

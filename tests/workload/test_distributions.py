@@ -1,0 +1,106 @@
+"""Calibration tests: the synthetic workload must match the published
+statistics of the Berkeley dialup trace (Section 4.1 / Figure 5)."""
+
+import pytest
+
+from repro.sim.rng import RandomStreams
+from repro.tacc.content import MIME_GIF, MIME_HTML, MIME_JPEG
+from repro.workload.distributions import (
+    MimeMix,
+    Mode,
+    SizeModel,
+    default_mime_mix,
+    default_size_models,
+    size_histogram,
+)
+
+
+@pytest.fixture(scope="module")
+def rng():
+    return RandomStreams(2024).stream("calibration")
+
+
+@pytest.fixture(scope="module")
+def models():
+    return default_size_models()
+
+
+def sample_many(model, rng, n=20000):
+    return [model.sample(rng) for _ in range(n)]
+
+
+def test_html_mean_matches_paper(models, rng):
+    sizes = sample_many(models[MIME_HTML], rng)
+    mean = sum(sizes) / len(sizes)
+    assert mean == pytest.approx(5131, rel=0.15)
+
+
+def test_gif_mean_matches_paper(models, rng):
+    sizes = sample_many(models[MIME_GIF], rng)
+    mean = sum(sizes) / len(sizes)
+    assert mean == pytest.approx(3428, rel=0.15)
+
+
+def test_jpeg_mean_matches_paper(models, rng):
+    sizes = sample_many(models[MIME_JPEG], rng)
+    mean = sum(sizes) / len(sizes)
+    assert mean == pytest.approx(12070, rel=0.15)
+
+
+def test_gif_distribution_is_bimodal_around_1kb(models, rng):
+    """Figure 5: GIF has an icon plateau under 1 KB and a photo plateau
+    above; the 1 KB threshold separates them ~50/50."""
+    sizes = sample_many(models[MIME_GIF], rng)
+    below = sum(1 for size in sizes if size < 1024)
+    fraction_below = below / len(sizes)
+    assert 0.35 < fraction_below < 0.65
+
+
+def test_jpeg_falls_off_under_1kb(models, rng):
+    """Figure 5: JPEGs 'fall off rapidly under the 1KB mark'."""
+    sizes = sample_many(models[MIME_JPEG], rng)
+    below = sum(1 for size in sizes if size < 1024)
+    assert below / len(sizes) < 0.02
+
+
+def test_mime_mix_matches_paper_shares(rng):
+    mix = default_mime_mix()
+    n = 30000
+    draws = [mix.sample(rng) for _ in range(n)]
+    assert draws.count(MIME_GIF) / n == pytest.approx(0.50, abs=0.02)
+    assert draws.count(MIME_HTML) / n == pytest.approx(0.22, abs=0.02)
+    assert draws.count(MIME_JPEG) / n == pytest.approx(0.18, abs=0.02)
+
+
+def test_size_model_validates():
+    with pytest.raises(ValueError):
+        SizeModel([])
+    with pytest.raises(ValueError):
+        SizeModel([Mode(mean=100, sigma=1.0, weight=0.0)])
+
+
+def test_mime_mix_validates():
+    with pytest.raises(ValueError):
+        MimeMix({})
+    with pytest.raises(ValueError):
+        MimeMix({"a": 0.0})
+
+
+def test_mode_bounds_respected(rng):
+    model = SizeModel([Mode(mean=500, sigma=2.0, min_bytes=100,
+                            max_bytes=1000)])
+    sizes = sample_many(model, rng, n=5000)
+    assert min(sizes) >= 100
+    assert max(sizes) <= 1000
+
+
+def test_size_histogram_sums_to_one(models, rng):
+    sizes = sample_many(models[MIME_GIF], rng, n=5000)
+    histogram = size_histogram(sizes)
+    assert sum(mass for _, mass in histogram) == pytest.approx(1.0)
+    centers = [center for center, _ in histogram]
+    assert centers == sorted(centers)
+
+
+def test_size_histogram_empty():
+    assert size_histogram([]) == []

@@ -1,0 +1,143 @@
+"""Tests for the playback engine against a mock service."""
+
+import pytest
+
+from repro.sim.kernel import Environment
+from repro.sim.rng import RandomStreams
+from repro.workload.playback import PlaybackEngine
+from repro.workload.trace import TraceRecord
+
+
+def records_at(times):
+    return [
+        TraceRecord(t, f"c{i}", f"http://x/{i}.gif", "image/gif", 1000)
+        for i, t in enumerate(times)
+    ]
+
+
+class MockService:
+    """Responds after a fixed service time; can be told to fail."""
+
+    def __init__(self, env, service_time=0.1, fail_urls=()):
+        self.env = env
+        self.service_time = service_time
+        self.fail_urls = set(fail_urls)
+        self.received = []
+
+    def submit(self, record):
+        self.received.append((self.env.now, record))
+        event = self.env.event()
+        if record.url in self.fail_urls:
+            raise RuntimeError("service refused")
+        self.env.process(self._respond(event, record))
+        return event
+
+    def _respond(self, event, record):
+        yield self.env.timeout(self.service_time)
+        event.succeed({"url": record.url})
+
+
+def test_faithful_playback_preserves_spacing():
+    env = Environment()
+    service = MockService(env)
+    engine = PlaybackEngine(env, service.submit)
+    trace = records_at([100.0, 100.5, 102.0])
+    env.process(engine.play(trace))
+    env.run()
+    submit_times = [t for t, _ in service.received]
+    assert submit_times == pytest.approx([0.0, 0.5, 2.0])
+    assert len(engine.completed()) == 3
+    assert engine.latencies() == pytest.approx([0.1, 0.1, 0.1])
+
+
+def test_playback_with_offset():
+    env = Environment()
+    service = MockService(env)
+    engine = PlaybackEngine(env, service.submit)
+    env.process(engine.play(records_at([0.0, 1.0]), time_offset=10.0))
+    env.run()
+    assert [t for t, _ in service.received] == pytest.approx([10.0, 11.0])
+
+
+def test_constant_rate_mode_hits_requested_rate():
+    env = Environment()
+    service = MockService(env, service_time=0.01)
+    rng = RandomStreams(5).stream("playback")
+    engine = PlaybackEngine(env, service.submit, rng=rng)
+    pool = records_at([0.0])
+    env.process(engine.constant_rate(50.0, 60.0, pool))
+    env.run()
+    assert len(service.received) / 60.0 == pytest.approx(50.0, rel=0.15)
+
+
+def test_constant_rate_requires_rng():
+    env = Environment()
+    engine = PlaybackEngine(env, MockService(env).submit)
+    with pytest.raises(ValueError):
+        next(engine.constant_rate(10.0, 1.0, records_at([0.0])))
+
+
+def test_ramp_mode_changes_rate_per_step():
+    env = Environment()
+    service = MockService(env, service_time=0.01)
+    rng = RandomStreams(5).stream("playback")
+    engine = PlaybackEngine(env, service.submit, rng=rng)
+    pool = records_at([0.0])
+    env.process(engine.ramp([(30.0, 5.0), (30.0, 40.0)], pool))
+    env.run()
+    first_half = sum(1 for t, _ in service.received if t < 30.0)
+    second_half = sum(1 for t, _ in service.received if t >= 30.0)
+    assert second_half > 4 * first_half
+
+
+def test_ramp_zero_rate_pauses():
+    env = Environment()
+    service = MockService(env)
+    rng = RandomStreams(5).stream("playback")
+    engine = PlaybackEngine(env, service.submit, rng=rng)
+    env.process(engine.ramp([(10.0, 0.0), (10.0, 10.0)], records_at([0.0])))
+    env.run()
+    assert all(t >= 10.0 for t, _ in service.received)
+
+
+def test_adapter_exception_recorded_as_failure():
+    env = Environment()
+    service = MockService(env, fail_urls={"http://x/0.gif"})
+    engine = PlaybackEngine(env, service.submit)
+    env.process(engine.play(records_at([0.0, 1.0])))
+    env.run()
+    assert len(engine.failed()) == 1
+    assert "service refused" in engine.failed()[0].error
+    assert len(engine.completed()) == 1
+
+
+def test_timeout_marks_request_failed():
+    env = Environment()
+    service = MockService(env, service_time=10.0)
+    engine = PlaybackEngine(env, service.submit, timeout_s=1.0)
+    env.process(engine.play(records_at([0.0])))
+    env.run()
+    assert len(engine.failed()) == 1
+    assert engine.failed()[0].error == "timeout"
+
+
+def test_in_flight_tracking():
+    env = Environment()
+    service = MockService(env, service_time=5.0)
+    engine = PlaybackEngine(env, service.submit)
+    env.process(engine.play(records_at([0.0, 0.1, 0.2])))
+    env.run()
+    assert engine.max_in_flight == 3
+    assert engine.in_flight == 0
+
+
+def test_throughput_window():
+    env = Environment()
+    service = MockService(env, service_time=0.0)
+    engine = PlaybackEngine(env, service.submit)
+    env.process(engine.play(records_at([0.0, 1.0, 2.0, 3.0])))
+    env.run(until=100.0)
+    # all 4 completed by t=3; window of last 50 s covers them
+    assert engine.throughput(100.0) == pytest.approx(4 / 100.0)
+    with pytest.raises(ValueError):
+        engine.throughput(0.0)
