@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import math
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 
 class LatencyStats:
@@ -101,6 +101,69 @@ def summarize_outcomes(outcomes) -> Dict[str, float]:
     total = ok + failed
     summary["success_rate"] = ok / total if total else 0.0
     return summary
+
+
+def harvest_yield_series(outcomes, bucket_s: float
+                         ) -> List[Dict[str, float]]:
+    """Per-bucket harvest/yield over a playback run.
+
+    The paper's availability frame (Section 2.3.1, and Fox & Brewer's
+    "Harvest, Yield, and Scalable Tolerant Systems"): **yield** is the
+    fraction of requests answered at all (ok or approximate fallback),
+    **harvest** the fraction of answered requests carrying the full
+    result rather than a BASE approximation.  A reply whose status is
+    ``"error"`` (a shed request, an error page) answers nothing and
+    counts against yield, exactly like a timeout.  Requests are bucketed
+    by *submission* time so a fault window's damage lands in the window
+    that caused it.  Each row: ``{"start", "submitted", "answered",
+    "degraded", "yield", "harvest"}``.
+    """
+    if bucket_s <= 0:
+        raise ValueError("bucket width must be positive")
+    if not outcomes:
+        return []
+    origin = min(outcome.submitted_at for outcome in outcomes)
+    buckets: Dict[int, List[int]] = {}
+    for outcome in outcomes:
+        index = int((outcome.submitted_at - origin) / bucket_s)
+        row = buckets.setdefault(index, [0, 0, 0])
+        row[0] += 1
+        status = getattr(outcome.response, "status", "ok")
+        if outcome.ok and status != "error":
+            row[1] += 1
+            if status != "ok":
+                row[2] += 1
+    series = []
+    for index in range(max(buckets) + 1):
+        submitted, answered, degraded = buckets.get(index, (0, 0, 0))
+        series.append({
+            "start": origin + index * bucket_s,
+            "submitted": float(submitted),
+            "answered": float(answered),
+            "degraded": float(degraded),
+            "yield": answered / submitted if submitted else 1.0,
+            "harvest": ((answered - degraded) / answered
+                        if answered else 1.0),
+        })
+    return series
+
+
+def yield_recovery_time(series: Sequence[Dict[str, float]],
+                        heal_time: float,
+                        target: float = 0.95) -> Optional[float]:
+    """Seconds after ``heal_time`` until yield first reaches ``target``
+    and stays there for the rest of the series; ``None`` if it never
+    recovers.  Empty buckets (nothing submitted) count as recovered.
+    """
+    candidate: Optional[float] = None
+    for row in series:
+        if row["start"] + 1e-9 < heal_time:
+            continue
+        if row["submitted"] and row["yield"] < target:
+            candidate = None
+        elif candidate is None:
+            candidate = max(0.0, row["start"] - heal_time)
+    return candidate
 
 
 def throughput_series(completion_times: Sequence[float],

@@ -1,0 +1,54 @@
+"""Chaos campaigns: stress the soft-state claims where they matter.
+
+The paper argues that soft state + timeouts + process peers survive any
+single fault with no recovery protocol (Sections 2.2.4, 3.1.3, 4.5) —
+but its testbed only ever produced *clean* faults over a perfectly
+reliable SAN.  This package builds the machinery to prove (or falsify)
+the claim under the regimes that actually break cluster systems: lost
+beacons, dropped load reports, duplicated datagrams, delay jitter,
+slow-but-not-dead nodes, and overlapping fault sequences.
+
+* :mod:`repro.chaos.campaign` — a composable fault-campaign layer that
+  schedules sequences and mixes of faults against a running fabric;
+* :mod:`repro.chaos.invariants` — an online checker asserting the
+  paper's soft-state guarantees during and after each campaign;
+* :mod:`repro.chaos.report` — harvest/yield availability accounting
+  quantifying graceful degradation per fault window.
+"""
+
+from repro.chaos.campaign import (
+    CAMPAIGNS,
+    Campaign,
+    CampaignRunner,
+    CrashWorkerNode,
+    KillFrontEnd,
+    KillManager,
+    KillWorker,
+    LossyWindow,
+    PartitionWorker,
+    RollingKills,
+    Straggle,
+    get_campaign,
+    run_campaign,
+)
+from repro.chaos.invariants import InvariantChecker, InvariantViolation
+from repro.chaos.report import ChaosReport
+
+__all__ = [
+    "CAMPAIGNS",
+    "Campaign",
+    "CampaignRunner",
+    "ChaosReport",
+    "CrashWorkerNode",
+    "InvariantChecker",
+    "InvariantViolation",
+    "KillFrontEnd",
+    "KillManager",
+    "KillWorker",
+    "LossyWindow",
+    "PartitionWorker",
+    "RollingKills",
+    "Straggle",
+    "get_campaign",
+    "run_campaign",
+]

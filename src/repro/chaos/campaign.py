@@ -1,0 +1,487 @@
+"""Composable fault campaigns: scheduled sequences and mixes of faults.
+
+A :class:`Campaign` is a declarative script — a workload plus a list of
+fault *actions*, each pinned to a simulated time — that the
+:class:`CampaignRunner` executes against a freshly built SNS fabric
+while the :class:`~repro.chaos.invariants.InvariantChecker` watches.
+Actions compose freely: clean kills and node crash-restart loops (the
+paper's Section 4.5 faults) mix with the lossy-SAN fault model's
+message loss, duplication, and delay jitter, straggler nodes, and
+rolling kill loops, so overlapping fault sequences — the regime the
+paper never measured — are one list literal away.
+
+Preset campaigns live in :data:`CAMPAIGNS`; ``python -m repro chaos
+<name>`` runs one from the command line.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.chaos.invariants import InvariantChecker
+from repro.chaos.report import ChaosReport, build_report
+from repro.core.config import SNSConfig
+from repro.core.messages import BEACON_GROUP
+from repro.experiments._harness import build_bench_fabric
+from repro.sim.failures import FaultInjector, FaultRecord
+from repro.sim.network import ANY_SCOPE, CHANNEL_SCOPE
+from repro.sim.rng import RandomStreams
+from repro.workload.playback import PlaybackEngine
+from repro.workload.trace import TraceRecord
+
+WORKER_TYPE = "jpeg-distiller"
+
+
+# -- the campaign DSL ---------------------------------------------------------
+
+@dataclass
+class Fault:
+    """Base action: something bad happens at ``at`` seconds."""
+
+    at: float
+
+    @property
+    def heals_at(self) -> float:
+        """When this fault stops being injected (instant for kills)."""
+        return self.at
+
+    @property
+    def needs_reregistration_check(self) -> bool:
+        return False
+
+
+@dataclass
+class KillWorker(Fault):
+    """Kill ``count`` live workers (SIGKILL, Section 4.5's fault)."""
+
+    count: int = 1
+
+
+@dataclass
+class KillManager(Fault):
+    """Kill the manager; front-end watchdogs must restart it."""
+
+
+@dataclass
+class KillFrontEnd(Fault):
+    """Kill one front end; the manager must restart it."""
+
+
+@dataclass
+class CrashWorkerNode(Fault):
+    """Crash the node hosting a worker (taking the worker with it),
+    optionally restarting the node after ``restart_after`` seconds."""
+
+    restart_after: Optional[float] = None
+
+    @property
+    def heals_at(self) -> float:
+        if self.restart_after is None:
+            return self.at
+        return self.at + self.restart_after
+
+
+@dataclass
+class PartitionWorker(Fault):
+    """Cut one worker off the SAN for ``duration_s`` (Section 2.2.4)."""
+
+    duration_s: float = 10.0
+
+    @property
+    def heals_at(self) -> float:
+        return self.at + self.duration_s
+
+    @property
+    def needs_reregistration_check(self) -> bool:
+        return True
+
+
+@dataclass
+class LossyWindow(Fault):
+    """Impose the lossy-SAN fault model on a traffic scope for a while.
+
+    ``scope`` is a multicast group name (default: the manager beacon
+    group), :data:`~repro.sim.network.CHANNEL_SCOPE` for reliable
+    connections, or :data:`~repro.sim.network.ANY_SCOPE` for everything.
+    """
+
+    duration_s: float = 20.0
+    scope: str = BEACON_GROUP
+    loss: float = 0.2
+    duplicate: float = 0.0
+    jitter_s: float = 0.0
+
+    @property
+    def heals_at(self) -> float:
+        return self.at + self.duration_s
+
+    @property
+    def needs_reregistration_check(self) -> bool:
+        # dropped beacons can silently expire workers from the manager's
+        # view; after the window heals the soft-state machinery must put
+        # them back
+        return self.loss > 0
+
+
+@dataclass
+class Straggle(Fault):
+    """Degrade the CPU of a worker's node to ``factor`` of nominal
+    without killing it — the fail-slow fault connection-based failure
+    detection cannot see."""
+
+    factor: float = 0.25
+    duration_s: Optional[float] = None
+
+    @property
+    def heals_at(self) -> float:
+        if self.duration_s is None:
+            return self.at
+        return self.at + self.duration_s
+
+
+@dataclass
+class RollingKills(Fault):
+    """Kill one worker every ``period_s`` seconds for ``duration_s`` —
+    the crash-restart churn loop ("recovery paths must be exercised
+    constantly to stay cheap")."""
+
+    duration_s: float = 20.0
+    period_s: float = 5.0
+
+    @property
+    def heals_at(self) -> float:
+        return self.at + self.duration_s
+
+
+@dataclass
+class Campaign:
+    """A named, reproducible chaos scenario."""
+
+    name: str
+    description: str
+    duration_s: float
+    actions: List[Fault] = field(default_factory=list)
+    # workload + topology
+    rate_rps: float = 15.0
+    n_nodes: int = 12
+    n_frontends: int = 2
+    initial_workers: int = 2
+    client_timeout_s: float = 20.0
+    settle_s: float = 8.0
+    config_overrides: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def final_heal_s(self) -> float:
+        """When the last scheduled fault stops being injected."""
+        return max((action.heals_at for action in self.actions),
+                   default=0.0)
+
+    def validate(self) -> "Campaign":
+        for action in self.actions:
+            if action.at < 0:
+                raise ValueError(f"{action} scheduled before t=0")
+            if action.heals_at == float("inf"):
+                raise ValueError(f"{action} never heals")
+        if self.final_heal_s >= self.duration_s:
+            raise ValueError(
+                f"campaign {self.name!r} ends at {self.duration_s}s "
+                f"but its last fault heals at {self.final_heal_s}s; "
+                "leave room to observe recovery")
+        return self
+
+
+def chaos_config(**overrides) -> SNSConfig:
+    """Campaign default config: fast soft-state refresh plus the
+    hardened request path (deadline shedding + admission control)."""
+    defaults: Dict[str, Any] = dict(
+        beacon_interval_s=0.5,
+        report_interval_s=0.5,
+        spawn_threshold=6.0,
+        spawn_damping_s=4.0,
+        dispatch_timeout_s=3.0,
+        worker_timeout_s=3.0,
+        reap_after_s=60.0,
+        frontend_connection_overhead_s=0.001,
+        shed_expired_requests=True,
+        admission_max_backlog_s=2.0,
+    )
+    defaults.update(overrides)
+    return SNSConfig(**defaults)
+
+
+# -- the runner ----------------------------------------------------------------
+
+class CampaignRunner:
+    """Builds a fabric, arms the campaign, runs it under load, and
+    returns the availability report plus any invariant violations."""
+
+    def __init__(self, campaign: Campaign, seed: int = 1997) -> None:
+        self.campaign = campaign.validate()
+        self.seed = seed
+        self.fabric = build_bench_fabric(
+            n_nodes=campaign.n_nodes, seed=seed,
+            config=chaos_config(**campaign.config_overrides))
+        self.cluster = self.fabric.cluster
+        self.env = self.cluster.env
+        self.faults = self.cluster.network.install_faults(
+            self.cluster.streams.stream("chaos:netfaults"))
+        self.injector = FaultInjector(
+            self.env, self.cluster.streams.stream("chaos:faults"))
+        self.checker = InvariantChecker(self.fabric)
+        self.engine = PlaybackEngine(
+            self.env, self.checker.checked_submit(self.fabric.submit),
+            rng=RandomStreams(seed).stream("chaos:playback"),
+            timeout_s=campaign.client_timeout_s)
+        self._straggled: List[Any] = []
+
+    # -- target selection (resolved at fire time: populations churn) -----
+
+    def _alive_workers(self) -> List[Any]:
+        return sorted(self.fabric.alive_workers(),
+                      key=lambda stub: stub.name)
+
+    def _at(self, time: float, fire: Callable[[], None]) -> None:
+        def later():
+            yield self.env.timeout(max(0.0, time - self.env.now))
+            fire()
+        self.env.process(later())
+
+    # -- arming actions ---------------------------------------------------------
+
+    def _arm(self, action: Fault) -> None:
+        if isinstance(action, KillWorker):
+            def kill_workers(action=action):
+                for stub in self._alive_workers()[:action.count]:
+                    self.injector.kill_now(stub)
+            self._at(action.at, kill_workers)
+        elif isinstance(action, KillManager):
+            def kill_manager():
+                manager = self.fabric.manager
+                if manager is not None and manager.alive:
+                    self.injector.kill_now(manager)
+            self._at(action.at, kill_manager)
+        elif isinstance(action, KillFrontEnd):
+            def kill_frontend():
+                frontends = self.fabric.alive_frontends()
+                if len(frontends) > 1:  # keep one to restart the manager
+                    self.injector.kill_now(
+                        sorted(frontends, key=lambda fe: fe.name)[-1])
+            self._at(action.at, kill_frontend)
+        elif isinstance(action, CrashWorkerNode):
+            def crash_node(action=action):
+                workers = self._alive_workers()
+                if not workers:
+                    return
+                node = workers[0].node
+                node.crash()
+                self.injector.log.append(
+                    FaultRecord(self.env.now, "node-crash", node.name))
+                for stub in list(self.fabric.workers.values()):
+                    if stub.alive and stub.node is node:
+                        self.injector.kill_now(stub)
+                if action.restart_after is not None:
+                    self._at(self.env.now + action.restart_after,
+                             node.restart)
+            self._at(action.at, crash_node)
+        elif isinstance(action, PartitionWorker):
+            def partition(action=action):
+                workers = self._alive_workers()
+                if workers:
+                    self.injector.partition_at(
+                        self.env.now, workers[0], action.duration_s)
+            self._at(action.at, partition)
+        elif isinstance(action, LossyWindow):
+            self.faults.impose(
+                scope=action.scope, loss=action.loss,
+                duplicate=action.duplicate, jitter_s=action.jitter_s,
+                start=action.at, duration_s=action.duration_s)
+        elif isinstance(action, Straggle):
+            def straggle(action=action):
+                workers = self._alive_workers()
+                if not workers:
+                    return
+                node = workers[-1].node
+                node.degrade(action.factor)
+                self._straggled.append(node)
+                if action.duration_s is not None:
+                    self._at(self.env.now + action.duration_s,
+                             node.recover_speed)
+            self._at(action.at, straggle)
+        elif isinstance(action, RollingKills):
+            self.injector.rolling_kills(
+                self._alive_workers, start=action.at,
+                period_s=action.period_s,
+                stop_at=action.at + action.duration_s)
+        else:
+            raise TypeError(f"unknown campaign action {action!r}")
+
+    # -- execution ---------------------------------------------------------------
+
+    def run(self) -> ChaosReport:
+        campaign = self.campaign
+        self.fabric.boot(
+            n_frontends=campaign.n_frontends,
+            initial_workers={WORKER_TYPE: campaign.initial_workers})
+        self.cluster.run(until=2.0)
+
+        pool = [
+            TraceRecord(0.0, f"client{index}",
+                        f"http://chaos/img{index}.jpg", "image/jpeg",
+                        10240)
+            for index in range(40)
+        ]
+        self.env.process(self.engine.constant_rate(
+            campaign.rate_rps, campaign.duration_s, pool))
+
+        for action in campaign.actions:
+            self._arm(action)
+            if action.needs_reregistration_check:
+                self.checker.expect_reregistration(action.heals_at)
+        self.checker.expect_convergence(
+            campaign.final_heal_s + campaign.settle_s)
+
+        run_until = campaign.duration_s + campaign.client_timeout_s + \
+            campaign.settle_s
+        self.cluster.run(until=run_until)
+
+        self.checker.final_checks(
+            self.engine, max_latency_s=campaign.client_timeout_s)
+        return build_report(
+            campaign=campaign, seed=self.seed, fabric=self.fabric,
+            engine=self.engine, checker=self.checker,
+            injector=self.injector, faults=self.faults)
+
+
+def run_campaign(campaign: Campaign, seed: int = 1997) -> ChaosReport:
+    """Build, run, and report one campaign."""
+    return CampaignRunner(campaign, seed=seed).run()
+
+
+# -- preset campaigns ----------------------------------------------------------
+
+def _smoke() -> Campaign:
+    return Campaign(
+        name="smoke",
+        description="one worker kill + a short lossy-beacon window "
+                    "(fast, deterministic; the CI gate)",
+        duration_s=45.0,
+        actions=[
+            KillWorker(at=8.0),
+            LossyWindow(at=12.0, duration_s=10.0, loss=0.3),
+        ],
+        rate_rps=10.0,
+        n_nodes=8,
+    )
+
+
+def _mixed() -> Campaign:
+    """The acceptance scenario: manager crash + 20% beacon loss + one
+    straggler + a rolling worker-kill loop, all overlapping."""
+    return Campaign(
+        name="mixed",
+        description="manager crash + lossy multicast (20% beacon loss) "
+                    "+ straggler node + rolling worker-kill loop",
+        duration_s=75.0,
+        actions=[
+            LossyWindow(at=10.0, duration_s=35.0, loss=0.20),
+            Straggle(at=12.0, factor=0.25, duration_s=28.0),
+            KillManager(at=16.0),
+            RollingKills(at=18.0, duration_s=18.0, period_s=4.5),
+        ],
+    )
+
+
+def _lossy_san() -> Campaign:
+    return Campaign(
+        name="lossy-san",
+        description="escalating loss, duplication, and jitter on "
+                    "beacons, then on everything including channels",
+        duration_s=70.0,
+        actions=[
+            LossyWindow(at=8.0, duration_s=12.0, loss=0.3),
+            LossyWindow(at=22.0, duration_s=12.0, loss=0.5,
+                        duplicate=0.2, jitter_s=0.05),
+            LossyWindow(at=36.0, duration_s=12.0, scope=ANY_SCOPE,
+                        loss=0.2, jitter_s=0.02),
+            LossyWindow(at=36.0, duration_s=12.0, scope=CHANNEL_SCOPE,
+                        loss=0.15, jitter_s=0.05),
+        ],
+    )
+
+
+def _partition_heal() -> Campaign:
+    return Campaign(
+        name="partition-heal",
+        description="SAN partition + beacon loss overlapping, the "
+                    "Section 2.2.4 scenario made dirty",
+        duration_s=60.0,
+        actions=[
+            PartitionWorker(at=10.0, duration_s=15.0),
+            LossyWindow(at=18.0, duration_s=14.0, loss=0.25),
+            KillWorker(at=20.0),
+        ],
+    )
+
+
+def _stragglers() -> Campaign:
+    return Campaign(
+        name="stragglers",
+        description="fail-slow nodes under churn: two straggle windows "
+                    "plus kills",
+        duration_s=60.0,
+        actions=[
+            Straggle(at=8.0, factor=0.2, duration_s=20.0),
+            KillWorker(at=14.0),
+            Straggle(at=20.0, factor=0.5, duration_s=15.0),
+            KillWorker(at=30.0),
+        ],
+        config_overrides=dict(load_metric="weighted-cost"),
+    )
+
+
+def _duplication() -> Campaign:
+    return Campaign(
+        name="duplication",
+        description="heavy datagram duplication + jitter: registration "
+                    "storms and double-delivery stress",
+        duration_s=50.0,
+        actions=[
+            LossyWindow(at=8.0, duration_s=20.0, duplicate=0.5,
+                        jitter_s=0.1),
+            KillManager(at=14.0),
+        ],
+    )
+
+
+def _crash_restart() -> Campaign:
+    return Campaign(
+        name="crash-restart",
+        description="node crash-restart loops with beacon loss",
+        duration_s=65.0,
+        actions=[
+            CrashWorkerNode(at=10.0, restart_after=15.0),
+            LossyWindow(at=12.0, duration_s=20.0, loss=0.2),
+            CrashWorkerNode(at=30.0, restart_after=10.0),
+        ],
+    )
+
+
+#: name -> zero-argument factory returning a fresh Campaign.
+CAMPAIGNS: Dict[str, Callable[[], Campaign]] = {
+    "smoke": _smoke,
+    "mixed": _mixed,
+    "lossy-san": _lossy_san,
+    "partition-heal": _partition_heal,
+    "stragglers": _stragglers,
+    "duplication": _duplication,
+    "crash-restart": _crash_restart,
+}
+
+
+def get_campaign(name: str) -> Campaign:
+    if name not in CAMPAIGNS:
+        raise KeyError(
+            f"unknown campaign {name!r}; "
+            f"available: {', '.join(sorted(CAMPAIGNS))}")
+    return CAMPAIGNS[name]()

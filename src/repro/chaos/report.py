@@ -1,0 +1,184 @@
+"""Harvest/yield availability reporting for chaos campaigns.
+
+The paper frames availability as *harvest* and *yield* (Section 2.3.1):
+yield is the fraction of submitted requests answered at all, harvest the
+fraction of answers carrying the full-quality result rather than a BASE
+approximation.  A :class:`ChaosReport` carries both as a per-beacon time
+series alongside the fault timeline, the invariant checker's verdicts,
+and the fault-path counters, so one object answers "did the soft-state
+machinery hold, and what did availability cost while it did?".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.analysis.metrics import (
+    harvest_yield_series,
+    yield_recovery_time,
+)
+from repro.chaos.invariants import InvariantViolation
+
+#: yield must return to this level after the final heal.
+RECOVERY_TARGET = 0.95
+
+
+@dataclass
+class ChaosReport:
+    """Everything one campaign run produced."""
+
+    campaign: str
+    description: str
+    seed: int
+    duration_s: float
+    beacon_interval_s: float
+    final_heal_s: float
+    fault_timeline: List[Any] = field(default_factory=list)
+    series: List[Dict[str, float]] = field(default_factory=list)
+    violations: List[InvariantViolation] = field(default_factory=list)
+    recovery_s: Optional[float] = None
+    convergence_s: Optional[float] = None
+    reregistration_times: List[float] = field(default_factory=list)
+    counters: Dict[str, int] = field(default_factory=dict)
+    spawn_failures: List[Any] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """No invariant violations."""
+        return not self.violations
+
+    @property
+    def submitted(self) -> int:
+        return int(sum(row["submitted"] for row in self.series))
+
+    @property
+    def answered(self) -> int:
+        return int(sum(row["answered"] for row in self.series))
+
+    @property
+    def overall_yield(self) -> float:
+        submitted = self.submitted
+        return self.answered / submitted if submitted else 1.0
+
+    @property
+    def overall_harvest(self) -> float:
+        answered = self.answered
+        degraded = sum(row["degraded"] for row in self.series)
+        return (answered - degraded) / answered if answered else 1.0
+
+    @property
+    def recovered(self) -> bool:
+        """Yield returned to the target after the final heal."""
+        return self.recovery_s is not None
+
+    @property
+    def recovery_beacon_periods(self) -> Optional[float]:
+        if self.recovery_s is None:
+            return None
+        return self.recovery_s / self.beacon_interval_s
+
+    def min_yield(self) -> float:
+        return min((row["yield"] for row in self.series
+                    if row["submitted"]), default=1.0)
+
+    def render(self) -> str:
+        """Human-readable campaign summary."""
+        lines = [
+            f"campaign   {self.campaign} (seed {self.seed})",
+            f"           {self.description}",
+            f"duration   {self.duration_s:.0f}s simulated, final heal "
+            f"at {self.final_heal_s:.0f}s",
+            f"requests   {self.submitted} submitted, {self.answered} "
+            f"answered",
+            f"yield      {self.overall_yield:.3f} overall, "
+            f"{self.min_yield():.3f} at the worst beacon interval",
+            f"harvest    {self.overall_harvest:.3f} of answers at full "
+            f"quality",
+        ]
+        if self.recovery_s is not None:
+            lines.append(
+                f"recovery   yield back over {RECOVERY_TARGET:.0%} "
+                f"{self.recovery_s:.1f}s "
+                f"({self.recovery_beacon_periods:.1f} beacon periods) "
+                f"after the final heal")
+        else:
+            lines.append(
+                f"recovery   yield never returned to "
+                f"{RECOVERY_TARGET:.0%} after the final heal")
+        if self.convergence_s is not None:
+            lines.append(
+                f"converge   manager view matched ground truth "
+                f"{self.convergence_s:.1f}s after the final heal")
+        if self.reregistration_times:
+            worst = max(self.reregistration_times)
+            lines.append(
+                f"reregister {len(self.reregistration_times)} heal(s) "
+                f"checked, slowest re-registration {worst:.1f}s")
+        lines.append("faults     " + (", ".join(
+            f"{record.kind} {record.target} @ {record.time:.0f}s"
+            for record in self.fault_timeline) or "none recorded"))
+        interesting = {name: value
+                       for name, value in sorted(self.counters.items())
+                       if value}
+        if interesting:
+            lines.append("counters   " + ", ".join(
+                f"{name}={value}"
+                for name, value in interesting.items()))
+        if self.spawn_failures:
+            lines.append("spawns     " + "; ".join(
+                repr(failure) for failure in self.spawn_failures[:5]))
+        if self.violations:
+            lines.append(f"VIOLATIONS ({len(self.violations)}):")
+            lines.extend(f"  - {violation!r}"
+                         for violation in self.violations)
+        else:
+            lines.append("invariants all held")
+        return "\n".join(lines)
+
+
+def build_report(campaign: Any, seed: int, fabric: Any, engine: Any,
+                 checker: Any, injector: Any,
+                 faults: Any) -> ChaosReport:
+    """Assemble the report from a finished campaign's pieces."""
+    beacon_s = fabric.config.beacon_interval_s
+    series = harvest_yield_series(engine.outcomes, bucket_s=beacon_s)
+    recovery = yield_recovery_time(series, campaign.final_heal_s,
+                                   target=RECOVERY_TARGET)
+    counters: Dict[str, int] = {
+        "datagrams_lost": faults.datagrams_lost,
+        "datagrams_duplicated": faults.datagrams_duplicated,
+        "messages_jittered": faults.messages_jittered,
+        "channel_retransmits": faults.channel_retransmits,
+        "manager_restarts": fabric.manager_restarts,
+        "requests_shed": sum(fe.shed
+                             for fe in fabric.frontends.values()),
+        "dispatch_retries": sum(fe.stub.retries
+                                for fe in fabric.frontends.values()),
+        "deadline_expiries": sum(fe.stub.deadline_expiries
+                                 for fe in fabric.frontends.values()),
+        "backoff_waits": sum(fe.stub.backoff_waits
+                             for fe in fabric.frontends.values()),
+        "worker_expired_sheds": sum(stub.expired
+                                    for stub in fabric.workers.values()),
+        "spawn_failures": (fabric.manager.spawn_failures
+                           if fabric.manager is not None else 0),
+    }
+    manager = fabric.manager
+    spawn_log = list(manager.spawn_failure_log) if manager else []
+    return ChaosReport(
+        campaign=campaign.name,
+        description=campaign.description,
+        seed=seed,
+        duration_s=campaign.duration_s,
+        beacon_interval_s=beacon_s,
+        final_heal_s=campaign.final_heal_s,
+        fault_timeline=list(injector.log),
+        series=series,
+        violations=list(checker.violations),
+        recovery_s=recovery,
+        convergence_s=checker.convergence_s,
+        reregistration_times=list(checker.reregistration_times),
+        counters=counters,
+        spawn_failures=spawn_log,
+    )

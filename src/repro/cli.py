@@ -6,6 +6,7 @@
     python -m repro run figure8 --seed 7
     python -m repro run table2
     python -m repro run all
+    python -m repro chaos mixed
 
 Each experiment prints its result in the paper's shape (the same
 renderers the benchmarks use).  ``--quick`` runs the reduced scales the
@@ -167,6 +168,13 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--export", metavar="DIR", default=None,
                             help="also write <DIR>/<name>.json with the "
                                  "raw result data")
+    chaos_parser = subparsers.add_parser(
+        "chaos", help="run a chaos campaign under invariant checking")
+    chaos_parser.add_argument(
+        "campaign", nargs="?", default=None,
+        help="campaign name (omit or 'list' to see them)")
+    chaos_parser.add_argument("--seed", type=int, default=1997,
+                              help="master RNG seed (default 1997)")
     trace_parser = subparsers.add_parser(
         "trace", help="generate or analyze a synthetic HTTP trace")
     trace_parser.add_argument("--duration", type=float, default=3600.0,
@@ -207,6 +215,27 @@ def run_experiment(name: str, seed: int, quick: bool,
         path = export_result(name, result, export_dir)
         text += f"\n[exported {path}]"
     return text
+
+
+def chaos_command(args) -> int:
+    """Run a chaos campaign; nonzero exit if any invariant broke."""
+    from repro.chaos import CAMPAIGNS, CampaignRunner, get_campaign
+
+    if args.campaign is None or args.campaign == "list":
+        width = max(len(name) for name in CAMPAIGNS)
+        print("available campaigns:")
+        for name in sorted(CAMPAIGNS):
+            print(f"  {name.ljust(width)}  "
+                  f"{CAMPAIGNS[name]().description}")
+        return 0
+    try:
+        campaign = get_campaign(args.campaign)
+    except KeyError as error:
+        print(error.args[0], file=sys.stderr)
+        return 2
+    report = CampaignRunner(campaign, seed=args.seed).run()
+    print(report.render())
+    return 0 if report.ok else 1
 
 
 def trace_command(args) -> int:
@@ -259,6 +288,8 @@ def main(argv: Optional[list] = None) -> int:
         if args.command is None or args.command == "list":
             print(list_experiments())
             return 0
+        if args.command == "chaos":
+            return chaos_command(args)
         if args.command == "trace":
             return trace_command(args)
         if args.experiment == "all":

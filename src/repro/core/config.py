@@ -70,6 +70,21 @@ class SNSConfig:
     dispatch_timeout_s: float = 8.0
     #: dispatch attempts before falling back to the original content.
     dispatch_attempts: int = 2
+    #: per-request dispatch deadline; ``None`` means the full budget
+    #: (``dispatch_attempts * dispatch_timeout_s``).  The deadline is
+    #: propagated into each WorkEnvelope so downstream stages can shed
+    #: work the client has already given up on.
+    dispatch_deadline_s: Optional[float] = None
+    #: retry backoff: first-retry delay, growth factor, and cap.  The
+    #: delay is jittered ±50% by ``dispatch_backoff_jitter`` from a
+    #: dedicated seeded stream, so lossy-regime retries neither
+    #: synchronize into retry storms nor perturb other streams.
+    dispatch_backoff_base_s: float = 0.05
+    dispatch_backoff_factor: float = 2.0
+    dispatch_backoff_cap_s: float = 2.0
+    #: jitter fraction: each backoff delay is scaled by a deterministic
+    #: uniform draw in [1 - j/2, 1 + j/2].
+    dispatch_backoff_jitter: float = 0.5
 
     # -- front ends -----------------------------------------------------------------
     #: thread-pool size ("about 400 threads").
@@ -81,11 +96,22 @@ class SNSConfig:
     #: top of content bytes.
     request_overhead_bytes: int = 400
 
+    #: load-shedding admission control: when set, a front end whose
+    #: thread pool is exhausted *and* whose netstack backlog exceeds
+    #: this many seconds refuses new requests immediately ("shed")
+    #: instead of queueing them toward certain timeout.  ``None``
+    #: disables shedding (the paper's original behaviour).
+    admission_max_backlog_s: Optional[float] = None
+
     # -- workers ----------------------------------------------------------------------
     #: worker stub queue capacity; beyond this, submissions are refused
     #: (the stub "accepts and queues requests on behalf of the
     #: distiller").
     worker_queue_capacity: int = 200
+    #: when True, worker stubs drop queued requests whose propagated
+    #: deadline has already passed (the client gave up; executing the
+    #: work would only add queueing delay for live requests).
+    shed_expired_requests: bool = False
 
     # -- caching ------------------------------------------------------------------------
     #: distillation threshold: content under 1 KB is passed unmodified.
@@ -110,6 +136,19 @@ class SNSConfig:
                 f"unknown balancing mode {self.balancing!r}")
         if self.dispatch_attempts < 1:
             raise ValueError("need at least one dispatch attempt")
+        if self.dispatch_deadline_s is not None \
+                and self.dispatch_deadline_s <= 0:
+            raise ValueError("dispatch deadline must be positive")
+        if self.dispatch_backoff_base_s < 0 \
+                or self.dispatch_backoff_cap_s < 0:
+            raise ValueError("backoff delays must be non-negative")
+        if self.dispatch_backoff_factor < 1.0:
+            raise ValueError("backoff factor must be >= 1")
+        if not 0.0 <= self.dispatch_backoff_jitter <= 1.0:
+            raise ValueError("backoff jitter must be in [0, 1]")
+        if self.admission_max_backlog_s is not None \
+                and self.admission_max_backlog_s < 0:
+            raise ValueError("admission backlog must be non-negative")
         if self.frontend_threads < 1:
             raise ValueError("front end needs at least one thread")
         return self

@@ -97,6 +97,7 @@ class FrontEnd(Component):
         self.responses_sent = 0
         self.fallbacks = 0
         self.errors = 0
+        self.shed = 0
 
     # -- client entry ------------------------------------------------------------
 
@@ -111,8 +112,27 @@ class FrontEnd(Component):
         if not self.alive:
             return reply
         self.requests_received += 1
+        if self._should_shed():
+            # load-shedding admission control: a fast "busy" answer
+            # costs nothing, while queueing toward certain timeout
+            # burns a thread and netstack time better spent on
+            # requests that can still meet their deadline
+            self.shed += 1
+            self.errors += 1
+            reply.succeed(Response(
+                status="error", path="shed",
+                detail="admission control: front end saturated"))
+            return reply
         self.spawn(self._handle(record, reply))
         return reply
+
+    def _should_shed(self) -> bool:
+        max_backlog = self.config.admission_max_backlog_s
+        if max_backlog is None:
+            return False
+        if self.threads.length > 0:
+            return False  # a thread is free: admit
+        return self.netstack.backlog_s > max_backlog
 
     def _handle(self, record: Any, reply):
         # connection setup through the kernel: the per-request serial cost

@@ -30,6 +30,7 @@ subsides.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Any, Dict, List, Optional
 
 from repro.core.component import Component
@@ -51,6 +52,23 @@ from repro.sim.transport import ChannelClosed, Endpoint
 
 #: Seconds to fork+exec+initialize a worker process on a node.
 SPAWN_DELAY_S = 1.0
+
+
+@dataclass
+class SpawnFailure:
+    """One failed worker spawn, with enough context for chaos reports
+    to attribute capacity loss (rather than an anonymous counter)."""
+
+    time: float
+    worker_type: str
+    node_name: str
+    reason: str       # "node-down" | "manager-dead" | exception type
+    detail: str = ""
+
+    def __repr__(self) -> str:
+        return (f"<SpawnFailure {self.worker_type} on {self.node_name} "
+                f"@ {self.time:.2f}s: {self.reason}"
+                + (f" ({self.detail})" if self.detail else "") + ">")
 
 
 class WorkerInfo:
@@ -110,6 +128,7 @@ class Manager(Component):
         self.reports_received = 0
         self.spawns = 0
         self.spawn_failures = 0
+        self.spawn_failure_log: List[SpawnFailure] = []
         self.reaps = 0
         self.worker_failures_detected = 0
         self.frontend_restarts = 0
@@ -330,15 +349,26 @@ class Manager(Component):
         if not self.alive or not node.up:
             self._spawns_in_flight[worker_type] = max(
                 0, self._spawns_in_flight.get(worker_type, 0) - 1)
+            self._record_spawn_failure(
+                worker_type, node,
+                "node-down" if self.alive else "manager-dead")
             return
         try:
             self.fabric.spawn_worker(worker_type, node)
-        except Exception:
+        except Exception as error:
             # exec failure (missing binary, bad node): give up on this
             # attempt; the policy loop will retry if load persists.
             self._spawns_in_flight[worker_type] = max(
                 0, self._spawns_in_flight.get(worker_type, 0) - 1)
-            self.spawn_failures += 1
+            self._record_spawn_failure(worker_type, node,
+                                       type(error).__name__, str(error))
+
+    def _record_spawn_failure(self, worker_type: str, node: Node,
+                              reason: str, detail: str = "") -> None:
+        self.spawn_failures += 1
+        self.spawn_failure_log.append(SpawnFailure(
+            time=self.env.now, worker_type=worker_type,
+            node_name=node.name, reason=reason, detail=detail))
 
     def _reap_check(self) -> None:
         for worker_type in self._known_types():

@@ -78,6 +78,10 @@ class ManagerStub:
         self.config = config
         self.owner_name = owner_name
         self.rng = rng
+        #: dedicated stream for retry-backoff jitter: deterministic per
+        #: seed+owner, and drawing from it never perturbs the lottery.
+        self.backoff_rng = cluster.streams.stream(
+            f"backoff:{owner_name}")
         self.manager: Optional[Any] = None
         self.manager_incarnation: Optional[int] = None
         self.last_beacon_at: Optional[float] = None
@@ -88,6 +92,8 @@ class ManagerStub:
         self.retries = 0
         self.timeouts = 0
         self.worker_errors = 0
+        self.deadline_expiries = 0
+        self.backoff_waits = 0
 
     # -- beacon intake -----------------------------------------------------------
 
@@ -157,27 +163,73 @@ class ManagerStub:
 
     # -- dispatch -------------------------------------------------------------------------
 
+    def _backoff_delay(self, retry_number: int) -> float:
+        """Exponential backoff with deterministic jitter for retry n>=1.
+
+        Base doubles (``dispatch_backoff_factor``) per retry up to the
+        cap; the jitter draw comes from :attr:`backoff_rng`, so delays
+        are reproducible per seed yet desynchronized across front ends
+        (no retry storms when a whole lossy window times out at once).
+        """
+        config = self.config
+        delay = min(
+            config.dispatch_backoff_cap_s,
+            config.dispatch_backoff_base_s
+            * config.dispatch_backoff_factor ** (retry_number - 1))
+        jitter = config.dispatch_backoff_jitter
+        if jitter > 0 and delay > 0:
+            delay *= 1.0 + jitter * (self.backoff_rng.random() - 0.5)
+        return delay
+
     def dispatch(self, tacc_request: Any, worker_type: str,
-                 input_bytes: int, expected_cost_s: float = 0.0):
+                 input_bytes: int, expected_cost_s: float = 0.0,
+                 deadline_s: Optional[float] = None):
         """Process generator: route one request to a worker of the type.
 
-        Retries with fresh lottery draws on refusal or timeout; asks the
-        manager (spawning on demand) when no hint exists.  Raises
-        :class:`DispatchError` when the budget is exhausted, or the
-        worker's own :class:`WorkerError` for pathological input (which
-        would fail anywhere — no point retrying).
+        Retries with fresh lottery draws on refusal or timeout, pausing
+        for exponentially backed-off, jittered delays between retries;
+        asks the manager (spawning on demand) when no hint exists.  The
+        whole dispatch respects a per-request deadline (``deadline_s``,
+        defaulting to ``config.dispatch_deadline_s`` or the full
+        attempts × timeout budget) which is propagated into each
+        :class:`WorkEnvelope` so downstream stages can shed expired
+        work.  Raises :class:`DispatchError` when the attempt budget or
+        the deadline is exhausted, or the worker's own
+        :class:`WorkerError` for pathological input (which would fail
+        anywhere — no point retrying).
         """
         env = self.cluster.env
+        config = self.config
         self.dispatches += 1
-        for attempt in range(self.config.dispatch_attempts):
+        if deadline_s is None:
+            deadline_s = config.dispatch_deadline_s
+        if deadline_s is None:
+            deadline_s = config.dispatch_attempts * \
+                config.dispatch_timeout_s
+        deadline_at = env.now + deadline_s
+        for attempt in range(config.dispatch_attempts):
+            if attempt > 0:
+                self.retries += 1
+                backoff = self._backoff_delay(attempt)
+                if backoff > 0:
+                    if env.now + backoff >= deadline_at:
+                        self.deadline_expiries += 1
+                        raise DispatchError(
+                            f"deadline exhausted for {worker_type!r}")
+                    self.backoff_waits += 1
+                    yield env.timeout(backoff)
+            remaining = deadline_at - env.now
+            if remaining <= 0:
+                self.deadline_expiries += 1
+                raise DispatchError(
+                    f"deadline exhausted for {worker_type!r}")
             state = self.pick(worker_type)
             if state is None:
-                state = yield from self._wait_for_worker(worker_type)
+                state = yield from self._wait_for_worker(
+                    worker_type, deadline_at)
                 if state is None:
                     raise DispatchError(
                         f"no {worker_type!r} worker available")
-            if attempt > 0:
-                self.retries += 1
             self._next_request_id += 1
             envelope = WorkEnvelope(
                 request_id=self._next_request_id,
@@ -186,6 +238,7 @@ class ManagerStub:
                 submitted_at=env.now,
                 input_bytes=input_bytes,
                 expected_cost_s=expected_cost_s,
+                deadline_at=deadline_at,
             )
             # ship the input across the SAN
             yield env.timeout(
@@ -195,7 +248,8 @@ class ManagerStub:
                 self.adverts.pop(state.advert.worker_name, None)
                 continue
             state.sent_since_report += 1
-            timer = env.timeout(self.config.dispatch_timeout_s)
+            timer = env.timeout(max(0.0, min(
+                config.dispatch_timeout_s, deadline_at - env.now)))
             try:
                 outcome = yield env.any_of([envelope.reply, timer])
             except WorkerError as error:
@@ -211,11 +265,14 @@ class ManagerStub:
         raise DispatchError(
             f"dispatch budget exhausted for {worker_type!r}")
 
-    def _wait_for_worker(self, worker_type: str):
+    def _wait_for_worker(self, worker_type: str,
+                         deadline_at: Optional[float] = None):
         """No cached hint: ask the manager (triggering an on-demand
         spawn) and poll until an advert appears or the budget runs out."""
         env = self.cluster.env
         deadline = env.now + self.config.dispatch_timeout_s
+        if deadline_at is not None:
+            deadline = min(deadline, deadline_at)
         while env.now < deadline:
             manager = self.manager
             if manager is not None:

@@ -128,3 +128,7 @@ class WorkEnvelope:
     submitted_at: float
     input_bytes: int
     expected_cost_s: float = 0.0
+    #: absolute deadline propagated from the dispatching front end;
+    #: ``None`` means unbounded.  Stages past the deadline may shed the
+    #: request — the client has already fallen back.
+    deadline_at: Optional[float] = None

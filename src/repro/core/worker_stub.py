@@ -71,6 +71,7 @@ class WorkerStub(Component):
         self.served = 0
         self.failed = 0
         self.refused = 0
+        self.expired = 0
 
     @property
     def worker_type(self) -> str:
@@ -109,6 +110,14 @@ class WorkerStub(Component):
     def _service_loop(self):
         while True:
             envelope: WorkEnvelope = yield self.queue.get()
+            if (self.config.shed_expired_requests
+                    and envelope.deadline_at is not None
+                    and self.env.now >= envelope.deadline_at):
+                # deadline propagation: the dispatching front end has
+                # already fallen back, so executing this would only add
+                # queueing delay in front of live requests
+                self.expired += 1
+                continue
             self.busy = True
             self._in_service_cost_s = envelope.expected_cost_s or 0.0
             try:

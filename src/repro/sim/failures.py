@@ -40,23 +40,32 @@ class FaultInjector:
         self.rng = rng
         self.log: List[FaultRecord] = []
 
+    def _validate_time(self, time: float, kind: str) -> None:
+        """Past-time arguments are caller bugs: reject them *here*, at
+        schedule time, where the caller can catch the ValueError —
+        raising inside the spawned process would surface only as an
+        unhandled simulation error at run time."""
+        if time < self.env.now:
+            raise ValueError(
+                f"{kind} time {time} is in the past "
+                f"(now {self.env.now})")
+
     # -- scheduled, deterministic faults -------------------------------------
 
     def kill_at(self, time: float, target: Any) -> None:
         """Kill ``target`` (a component with ``kill()``) at ``time``."""
+        self._validate_time(time, "kill")
         self.env.process(self._kill_later(time, target))
 
     def _kill_later(self, time: float, target: Any):
-        delay = time - self.env.now
-        if delay < 0:
-            raise ValueError(f"kill time {time} is in the past")
-        yield self.env.timeout(delay)
+        yield self.env.timeout(max(0.0, time - self.env.now))
         self._kill(target)
 
     def crash_node_at(self, time: float, node: Node,
                       components: Optional[List[Any]] = None,
                       restart_after: Optional[float] = None) -> None:
         """Crash a whole node (and everything on it) at ``time``."""
+        self._validate_time(time, "crash")
         self.env.process(
             self._crash_node_later(time, node, components or [],
                                    restart_after))
@@ -64,10 +73,7 @@ class FaultInjector:
     def _crash_node_later(self, time: float, node: Node,
                           components: List[Any],
                           restart_after: Optional[float]):
-        delay = time - self.env.now
-        if delay < 0:
-            raise ValueError(f"crash time {time} is in the past")
-        yield self.env.timeout(delay)
+        yield self.env.timeout(max(0.0, time - self.env.now))
         node.crash()
         self.log.append(FaultRecord(self.env.now, "node-crash", node.name))
         for component in components:
@@ -82,18 +88,64 @@ class FaultInjector:
                      duration_s: float) -> None:
         """Cut ``target`` (anything with ``partition(duration_s)``) off
         the network at ``time`` — the Section 2.2.4 SAN-partition fault."""
+        self._validate_time(time, "partition")
         self.env.process(self._partition_later(time, target, duration_s))
 
     def _partition_later(self, time: float, target: Any,
                          duration_s: float):
-        delay = time - self.env.now
-        if delay < 0:
-            raise ValueError(f"partition time {time} is in the past")
-        yield self.env.timeout(delay)
+        yield self.env.timeout(max(0.0, time - self.env.now))
         target.partition(duration_s)
         self.log.append(FaultRecord(
             self.env.now, "partition",
             getattr(target, "name", repr(target))))
+
+    def degrade_node_at(self, time: float, node: Node, factor: float,
+                        duration_s: Optional[float] = None) -> None:
+        """Turn ``node`` into a straggler at ``time``: CPU slows to
+        ``factor`` of nominal without the node dying (fail-slow).  Heals
+        after ``duration_s`` when given, else persists."""
+        self._validate_time(time, "degrade")
+        if not 0.0 < factor <= 1.0:
+            raise ValueError("degrade factor must be in (0, 1]")
+        self.env.process(
+            self._degrade_later(time, node, factor, duration_s))
+
+    def _degrade_later(self, time: float, node: Node, factor: float,
+                       duration_s: Optional[float]):
+        yield self.env.timeout(max(0.0, time - self.env.now))
+        node.degrade(factor)
+        self.log.append(FaultRecord(
+            self.env.now, "straggle", node.name))
+        if duration_s is not None:
+            yield self.env.timeout(duration_s)
+            node.recover_speed()
+            self.log.append(FaultRecord(
+                self.env.now, "straggle-heal", node.name))
+
+    def rolling_kills(self, targets_provider: Callable[[], List[Any]],
+                      start: float, period_s: float,
+                      stop_at: float) -> None:
+        """Kill one target every ``period_s`` seconds between ``start``
+        and ``stop_at`` — the deterministic crash-restart churn loop
+        (random_kills' seeded cousin, for reproducible campaigns)."""
+        self._validate_time(start, "rolling-kill start")
+        if period_s <= 0:
+            raise ValueError("period must be positive")
+        self.env.process(self._rolling_kill_loop(
+            targets_provider, start, period_s, stop_at))
+
+    def _rolling_kill_loop(self, targets_provider, start: float,
+                           period_s: float, stop_at: float):
+        yield self.env.timeout(max(0.0, start - self.env.now))
+        index = 0
+        while self.env.now + period_s <= stop_at:
+            yield self.env.timeout(period_s)
+            targets = [t for t in targets_provider() if t is not None]
+            if not targets:
+                continue
+            # round-robin, not random: reproducible without an RNG
+            self._kill(targets[index % len(targets)])
+            index += 1
 
     # -- random faults --------------------------------------------------------
 
@@ -123,6 +175,11 @@ class FaultInjector:
             self._kill(self.rng.choice(targets))
 
     # -- internals --------------------------------------------------------------
+
+    def kill_now(self, target: Any) -> None:
+        """Kill ``target`` immediately, logging the fault (used by the
+        chaos campaign layer, which resolves victims at fire time)."""
+        self._kill(target)
 
     def _kill(self, target: Any) -> None:
         name = getattr(target, "name", repr(target))

@@ -62,6 +62,10 @@ class MulticastGroup:
         self.published = 0
         self.delivered = 0
         self.dropped = 0
+        #: copies lost/duplicated by the lossy-SAN fault model (distinct
+        #: from saturation drops, which the paper's baseline produces).
+        self.fault_dropped = 0
+        self.fault_duplicated = 0
 
     def subscribe(self, subscriber_name: str) -> Subscription:
         queue = self.env.queue(self.mailbox_capacity)
@@ -82,13 +86,28 @@ class MulticastGroup:
         blocks (datagram semantics).
         """
         self.published += 1
+        faults = self.network.faults
         for subscription in list(self._subscriptions):
             drop_probability = self.network.multicast_drop_probability()
             if drop_probability > 0 and self.rng.random() < drop_probability:
                 self.dropped += 1
                 continue
-            delay = self.network.transfer_delay(size_bytes, control=True)
-            self.env.process(self._deliver(subscription, message, delay))
+            copies, extra_delay = 1, 0.0
+            if faults is not None:
+                # the lossy-SAN fault model: per-copy loss, duplication,
+                # and delay jitter scoped to this group's name
+                copies, extra_delay = faults.datagram_fate(self.name)
+                if copies == 0:
+                    self.dropped += 1
+                    self.fault_dropped += 1
+                    continue
+                if copies > 1:
+                    self.fault_duplicated += 1
+            for _ in range(copies):
+                delay = self.network.transfer_delay(
+                    size_bytes, control=True) + extra_delay
+                self.env.process(
+                    self._deliver(subscription, message, delay))
 
     def _deliver(self, subscription: Subscription, message: Any,
                  delay: float):

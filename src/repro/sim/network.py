@@ -16,12 +16,184 @@ column) and the multicast drop probability (for the 10 Mb/s experiment).
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Dict, Optional, Tuple
+from typing import Deque, Dict, List, Optional, Tuple
 
 from repro.sim.kernel import Environment
+from repro.sim.rng import Stream
 
 #: Convenience: megabits/second to bytes/second.
 MBPS = 1_000_000 / 8
+
+#: Fault-model scope matching any traffic class.
+ANY_SCOPE = "*"
+#: Fault-model scope for reliable channel (TCP) traffic.
+CHANNEL_SCOPE = "tcp"
+
+#: Base retransmission timeout charged per lost channel segment.  A
+#: reliable connection never *loses* a message under the fault model —
+#: loss shows up as retransmit delay, doubling per consecutive loss
+#: (classic RTO backoff).
+CHANNEL_RTO_S = 0.2
+
+
+class FaultWindow:
+    """One time-bounded message-fault regime on a traffic scope.
+
+    ``loss`` and ``duplicate`` are per-message probabilities; ``jitter_s``
+    is the maximum uniform extra delivery delay.  Windows with
+    ``end=None`` stay active until cleared.
+    """
+
+    def __init__(self, scope: str, start: float, end: Optional[float],
+                 loss: float = 0.0, duplicate: float = 0.0,
+                 jitter_s: float = 0.0) -> None:
+        if not 0.0 <= loss <= 1.0:
+            raise ValueError("loss probability must be in [0, 1]")
+        if not 0.0 <= duplicate <= 1.0:
+            raise ValueError("duplicate probability must be in [0, 1]")
+        if jitter_s < 0:
+            raise ValueError("jitter must be non-negative")
+        if end is not None and end < start:
+            raise ValueError("window ends before it starts")
+        self.scope = scope
+        self.start = start
+        self.end = end
+        self.loss = loss
+        self.duplicate = duplicate
+        self.jitter_s = jitter_s
+
+    def active_at(self, now: float) -> bool:
+        return self.start <= now and (self.end is None or now < self.end)
+
+    def __repr__(self) -> str:
+        end = "∞" if self.end is None else f"{self.end:.1f}"
+        return (f"<FaultWindow {self.scope} [{self.start:.1f},{end}) "
+                f"loss={self.loss:.2f} dup={self.duplicate:.2f} "
+                f"jitter={self.jitter_s * 1000:.0f}ms>")
+
+
+class NetworkFaults:
+    """The lossy-SAN fault model: scoped loss, duplication, and jitter.
+
+    The baseline :class:`Network` drops unreliable datagrams only under
+    *saturation*; this model adds the faults the paper's soft-state
+    claims must survive but its testbed never produced on demand —
+    independent per-message loss, duplicated delivery, and delay jitter,
+    each confined to a *scope* (a multicast group name, the reliable
+    channel scope :data:`CHANNEL_SCOPE`, or :data:`ANY_SCOPE`) and to a
+    declared time window.  Windows are declarative: imposing one costs
+    no simulation process, and messages consult the model only when it
+    is installed, so a fault-free run draws no extra randomness.
+    """
+
+    def __init__(self, env: Environment, rng: Stream) -> None:
+        self.env = env
+        self.rng = rng
+        self._windows: List[FaultWindow] = []
+        # counters for chaos reports
+        self.datagrams_lost = 0
+        self.datagrams_duplicated = 0
+        self.messages_jittered = 0
+        self.channel_retransmits = 0
+
+    # -- declaring fault regimes -------------------------------------------
+
+    def impose(self, scope: str = ANY_SCOPE, loss: float = 0.0,
+               duplicate: float = 0.0, jitter_s: float = 0.0,
+               start: Optional[float] = None,
+               duration_s: Optional[float] = None) -> FaultWindow:
+        """Declare a fault window; defaults to starting now, forever."""
+        begin = self.env.now if start is None else start
+        if begin < self.env.now:
+            raise ValueError(
+                f"fault window start {begin} is in the past")
+        end = None if duration_s is None else begin + duration_s
+        window = FaultWindow(scope, begin, end, loss=loss,
+                             duplicate=duplicate, jitter_s=jitter_s)
+        self._windows.append(window)
+        return window
+
+    def clear(self, window: Optional[FaultWindow] = None) -> None:
+        """End one window (or all of them) as of now."""
+        targets = [window] if window is not None else list(self._windows)
+        for target in targets:
+            if target.end is None or target.end > self.env.now:
+                target.end = self.env.now
+
+    def windows(self, scope: Optional[str] = None) -> List[FaultWindow]:
+        return [w for w in self._windows
+                if scope is None or w.scope == scope]
+
+    def final_heal_time(self) -> float:
+        """Latest declared window end (open windows never heal)."""
+        latest = 0.0
+        for window in self._windows:
+            if window.end is None:
+                return float("inf")
+            latest = max(latest, window.end)
+        return latest
+
+    def _active(self, scope: str) -> List[FaultWindow]:
+        now = self.env.now
+        return [
+            w for w in self._windows
+            if w.active_at(now) and w.scope in (scope, ANY_SCOPE)
+        ]
+
+    # -- consulted by the network layers ------------------------------------
+
+    def datagram_fate(self, scope: str) -> Tuple[int, float]:
+        """Decide one unreliable datagram's fate: (copies, extra delay).
+
+        0 copies means the datagram is lost; 2 means duplicated
+        delivery.  Loss wins over duplication when both fire.
+        """
+        active = self._active(scope)
+        if not active:
+            return 1, 0.0
+        copies = 1
+        extra = 0.0
+        for window in active:
+            if window.loss > 0 and self.rng.random() < window.loss:
+                self.datagrams_lost += 1
+                return 0, 0.0
+            if window.duplicate > 0 and \
+                    self.rng.random() < window.duplicate:
+                copies = 2
+            if window.jitter_s > 0:
+                extra += self.rng.uniform(0.0, window.jitter_s)
+        if copies > 1:
+            self.datagrams_duplicated += 1
+        if extra > 0:
+            self.messages_jittered += 1
+        return copies, extra
+
+    def channel_penalty(self, scope: str = CHANNEL_SCOPE) -> float:
+        """Extra delay for one reliable-channel message.
+
+        Losses become retransmissions (the connection hides them but
+        pays RTO, doubling per consecutive loss); jitter adds directly.
+        """
+        active = self._active(scope)
+        if not active:
+            return 0.0
+        penalty = 0.0
+        for window in active:
+            if window.loss > 0:
+                rto = CHANNEL_RTO_S
+                # cap consecutive retransmissions so loss=1.0 stalls the
+                # connection rather than hanging the simulation
+                for _ in range(10):
+                    if self.rng.random() >= window.loss:
+                        break
+                    self.channel_retransmits += 1
+                    penalty += rto
+                    rto *= 2.0
+            if window.jitter_s > 0:
+                penalty += self.rng.uniform(0.0, window.jitter_s)
+        if penalty > 0:
+            self.messages_jittered += 1
+        return penalty
 
 
 class UtilizationMeter:
@@ -146,12 +318,21 @@ class Network:
         self.env = env
         self.san = Link(env, "SAN", bandwidth_bps, latency_s)
         self.access_links: Dict[str, AccessLink] = {}
+        #: optional lossy-SAN fault model; ``None`` keeps the baseline
+        #: perfectly reliable SAN (and draws no randomness).
+        self.faults: Optional[NetworkFaults] = None
         #: Section 4.6's proposed fix: "the addition of a low-speed
         #: utility network to isolate control traffic from data traffic,
         #: allowing the system to more gracefully handle (and perhaps
         #: avoid) SAN saturation."  When present, control datagrams
         #: (beacons, load reports) ride here instead of the SAN.
         self.utility: Optional[Link] = None
+
+    def install_faults(self, rng: Stream) -> NetworkFaults:
+        """Attach (or return the existing) lossy-SAN fault model."""
+        if self.faults is None:
+            self.faults = NetworkFaults(self.env, rng)
+        return self.faults
 
     def add_utility_network(self, bandwidth_bps: float = 10 * MBPS,
                             latency_s: float = 0.001) -> Link:

@@ -44,6 +44,8 @@ class Node:
         self.name = name
         self.cpus = cpus
         self.speed = speed
+        #: nominal speed; ``speed`` drops below it while straggling.
+        self.base_speed = speed
         self.memory_mb = memory_mb
         self.has_disk = has_disk
         self.overflow = overflow
@@ -80,6 +82,28 @@ class Node:
     def restart(self) -> None:
         """Bring a crashed node back with cold caches and free slots."""
         self.up = True
+        self.speed = self.base_speed  # a reboot clears any straggle
+
+    # -- straggler model ------------------------------------------------------
+
+    def degrade(self, factor: float) -> None:
+        """Make the node a *straggler*: CPU slows to ``factor`` of its
+        nominal speed without the node dying.  This is the fail-slow
+        fault the paper's testbed never produced on demand — the node
+        keeps answering (so broken-connection detection never fires) but
+        work started here takes ``1/factor`` times longer.
+        """
+        if not 0.0 < factor <= 1.0:
+            raise ValueError("degrade factor must be in (0, 1]")
+        self.speed = self.base_speed * factor
+
+    def recover_speed(self) -> None:
+        """End a straggle: restore the nominal CPU speed."""
+        self.speed = self.base_speed
+
+    @property
+    def is_straggling(self) -> bool:
+        return self.up and self.speed < self.base_speed
 
     # -- CPU model -----------------------------------------------------------
 

@@ -37,6 +37,10 @@ class Endpoint:
         self._inbox: Queue = channel.env.queue()
         self._waiters: List[Event] = []
         self.peer: Optional["Endpoint"] = None  # set by Channel
+        # earliest time the next message may arrive: keeps the stream
+        # FIFO even when the fault model jitters individual deliveries
+        # (TCP delays, but never reorders)
+        self._next_arrival_at = 0.0
 
     def send(self, message: Any, size_bytes: int = 256) -> None:
         """Queue ``message`` for delivery to the peer after the SAN delay.
@@ -46,6 +50,16 @@ class Endpoint:
         if not self.channel.open:
             raise ChannelClosed(self.channel.describe())
         delay = self.channel.network.transfer_delay(size_bytes)
+        faults = self.channel.network.faults
+        if faults is not None:
+            # Reliable connections never lose messages under the lossy-SAN
+            # fault model; loss surfaces as retransmission delay instead
+            # (plus any imposed delivery jitter), and delivery stays FIFO.
+            delay += faults.channel_penalty()
+            now = self.channel.env.now
+            arrival = max(now + delay, self._next_arrival_at)
+            self._next_arrival_at = arrival
+            delay = arrival - now
         self.channel.env.process(self._deliver(message, delay))
 
     def _deliver(self, message: Any, delay: float):

@@ -70,6 +70,59 @@ def test_requests_to_partitioned_worker_time_out(fabric):
     assert response is not None
 
 
+def _reregistration_delay(fabric, victim, heal_at, budget_s):
+    """Run until the victim is back in the manager's view; return the
+    delay past ``heal_at`` (fails the test if the budget expires)."""
+    env = fabric.cluster.env
+    interval = fabric.config.beacon_interval_s
+    while env.now < heal_at + budget_s:
+        fabric.cluster.run(until=env.now + interval)
+        if victim.name in fabric.manager.workers:
+            return env.now - heal_at
+    pytest.fail(
+        f"{victim.name} not re-registered within {budget_s}s of heal")
+
+
+def test_heal_reregisters_within_beacon_loss_tolerance(fabric):
+    """Soft state's promise, quantified: after a partition heals the
+    worker must be back in the manager's view within
+    ``beacon_loss_tolerance`` beacon periods."""
+    fabric.boot(n_frontends=1, initial_workers={"test-worker": 2})
+    fabric.cluster.run(until=2.0)
+    victim = fabric.alive_workers()[0]
+    victim.partition(6.0)
+    heal_at = fabric.cluster.env.now + 6.0
+    fabric.cluster.run(until=4.0)
+    assert victim.name not in fabric.manager.workers
+    budget = (fabric.config.beacon_loss_tolerance
+              * fabric.config.beacon_interval_s)
+    delay = _reregistration_delay(fabric, victim, heal_at, budget)
+    assert delay <= budget
+
+
+def test_heal_reregisters_under_lossy_multicast(fabric):
+    """Same bound with the lossy-SAN fault model dropping 30% of
+    beacons across the heal: re-registration rides the first beacon
+    that survives, still inside the tolerance window."""
+    fabric.boot(n_frontends=1, initial_workers={"test-worker": 2})
+    fabric.cluster.run(until=2.0)
+    faults = fabric.cluster.network.install_faults(
+        fabric.cluster.streams.stream("test:netfaults"))
+    victim = fabric.alive_workers()[0]
+    victim.partition(6.0)
+    heal_at = fabric.cluster.env.now + 6.0
+    from repro.core.messages import BEACON_GROUP
+    faults.impose(scope=BEACON_GROUP, loss=0.3,
+                  start=heal_at - 2.0, duration_s=10.0)
+    fabric.cluster.run(until=4.0)
+    assert victim.name not in fabric.manager.workers
+    budget = (fabric.config.beacon_loss_tolerance
+              * fabric.config.beacon_interval_s)
+    delay = _reregistration_delay(fabric, victim, heal_at, budget)
+    assert delay <= budget
+    assert faults.datagrams_lost > 0  # the window really dropped beacons
+
+
 def test_partition_extends_not_shrinks(fabric):
     fabric.boot(n_frontends=1, initial_workers={"test-worker": 1})
     fabric.cluster.run(until=2.0)

@@ -57,6 +57,73 @@ def test_kill_in_the_past_rejected():
         env.run(until=20.0)
 
 
+def test_past_time_rejected_at_schedule_time():
+    """Validation happens in the scheduling call itself — synchronously,
+    where the caller can catch it — not later inside the spawned
+    process."""
+    env = Environment()
+    injector = FaultInjector(env)
+    env.run(until=10.0)
+    with pytest.raises(ValueError):
+        injector.kill_at(7.0, KillableStub(env, "k"))
+    with pytest.raises(ValueError):
+        injector.crash_node_at(3.0, Node(env, "n"))
+    with pytest.raises(ValueError):
+        injector.partition_at(9.9, KillableStub(env, "p"), 5.0)
+    # nothing was scheduled: the clock can keep running cleanly
+    env.run(until=20.0)
+    assert injector.log == []
+
+
+def test_degrade_node_slows_then_heals():
+    env = Environment()
+    injector = FaultInjector(env)
+    node = Node(env, "n0")
+    injector.degrade_node_at(5.0, node, factor=0.25, duration_s=10.0)
+    env.run(until=6.0)
+    assert node.is_straggling
+    assert node.speed == pytest.approx(0.25 * node.base_speed)
+    env.run(until=20.0)
+    assert not node.is_straggling
+    assert node.speed == node.base_speed
+    assert [r.kind for r in injector.log] == ["straggle",
+                                              "straggle-heal"]
+
+
+def test_degrade_factor_validated():
+    env = Environment()
+    injector = FaultInjector(env)
+    node = Node(env, "n0")
+    for bad in (0.0, -0.5, 1.5):
+        with pytest.raises(ValueError):
+            injector.degrade_node_at(1.0, node, factor=bad)
+
+
+def test_rolling_kills_round_robin():
+    env = Environment()
+    injector = FaultInjector(env)
+    population = [KillableStub(env, f"w{i}") for i in range(10)]
+
+    def provider():
+        return [t for t in population if t.killed_at is None]
+
+    injector.rolling_kills(provider, start=10.0, period_s=5.0,
+                           stop_at=31.0)
+    env.run(until=60.0)
+    killed = [t.name for t in population if t.killed_at is not None]
+    # kills at 15, 20, 25, 30 — deterministic, no RNG involved
+    assert len(killed) == 4
+    assert injector.rng is None
+
+
+def test_rolling_kills_validates_period():
+    env = Environment()
+    injector = FaultInjector(env)
+    with pytest.raises(ValueError):
+        injector.rolling_kills(lambda: [], start=0.0, period_s=0.0,
+                               stop_at=10.0)
+
+
 def test_crash_node_kills_components_and_restarts():
     env = Environment()
     injector = FaultInjector(env)

@@ -67,3 +67,33 @@ def test_parser_shape():
     assert args.experiment == "figure8"
     assert args.seed == 9
     assert args.quick
+
+
+def test_chaos_list(capsys):
+    assert main(["chaos", "list"]) == 0
+    out = capsys.readouterr().out
+    assert "mixed" in out
+    assert "smoke" in out
+
+
+def test_chaos_unknown_campaign(capsys):
+    assert main(["chaos", "nonsense"]) == 2
+    assert "unknown campaign" in capsys.readouterr().err
+
+
+def test_chaos_smoke_runs_clean(capsys):
+    assert main(["chaos", "smoke", "--seed", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "invariants all held" in out
+    assert "yield" in out
+
+
+def test_chaos_exit_code_reflects_violations(capsys, monkeypatch):
+    from repro.core.worker_stub import WorkerStub
+
+    def no_register(self, beacon):
+        return iter(())
+
+    monkeypatch.setattr(WorkerStub, "_register", no_register)
+    assert main(["chaos", "smoke", "--seed", "3"]) == 1
+    assert "VIOLATIONS" in capsys.readouterr().out
