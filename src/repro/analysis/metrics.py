@@ -25,6 +25,52 @@ class LatencyStats:
             self.add(value)
         return self
 
+    @classmethod
+    def from_samples(cls, values: Iterable[float]) -> "LatencyStats":
+        return cls().extend(values)
+
+    def merge(self, other: "LatencyStats") -> "LatencyStats":
+        """Fold another accumulator's samples into this one.
+
+        Percentiles of the merged set are exact (samples are pooled,
+        not approximated), so callers aggregating per-arm or
+        per-category stats no longer re-sort ad-hoc sample lists.
+        """
+        if other._samples:
+            self._samples.extend(other._samples)
+            self._sorted = False
+        return self
+
+    def histogram(self, bins: int = 10,
+                  lo: Optional[float] = None,
+                  hi: Optional[float] = None
+                  ) -> List[Tuple[float, float, int]]:
+        """Equal-width histogram: ``[(left, right, count), ...]``.
+
+        Bounds default to the sample min/max; the top edge is
+        inclusive so the maximum lands in the last bin.
+        """
+        if bins < 1:
+            raise ValueError("bins must be >= 1")
+        if not self._samples:
+            return []
+        self._ensure_sorted()
+        low = self._samples[0] if lo is None else lo
+        high = self._samples[-1] if hi is None else hi
+        if high <= low:
+            high = low + 1e-12
+        width = (high - low) / bins
+        counts = [0] * bins
+        for value in self._samples:
+            if value < low or value > high:
+                continue
+            index = min(int((value - low) / width), bins - 1)
+            counts[index] += 1
+        return [
+            (low + index * width, low + (index + 1) * width, count)
+            for index, count in enumerate(counts)
+        ]
+
     def _ensure_sorted(self) -> None:
         if not self._sorted:
             self._samples.sort()
@@ -33,6 +79,10 @@ class LatencyStats:
     @property
     def count(self) -> int:
         return len(self._samples)
+
+    @property
+    def total(self) -> float:
+        return sum(self._samples)
 
     @property
     def mean(self) -> float:

@@ -168,6 +168,11 @@ class Campaign:
     n_frontends: int = 2
     initial_workers: int = 2
     client_timeout_s: float = 20.0
+    #: bound for the end-of-run bounded-reply latency check; defaults
+    #: to ``client_timeout_s``.  Setting it *below* the client timeout
+    #: turns "slow but answered" into a violation — an SLO check, used
+    #: by the tests that force a deadline violation deterministically.
+    slo_latency_s: Optional[float] = None
     settle_s: float = 8.0
     config_overrides: Dict[str, Any] = field(default_factory=dict)
 
@@ -346,7 +351,10 @@ class CampaignRunner:
         self.cluster.run(until=run_until)
 
         self.checker.final_checks(
-            self.engine, max_latency_s=campaign.client_timeout_s)
+            self.engine,
+            max_latency_s=(campaign.slo_latency_s
+                           if campaign.slo_latency_s is not None
+                           else campaign.client_timeout_s))
         return build_report(
             campaign=campaign, seed=self.seed, fabric=self.fabric,
             engine=self.engine, checker=self.checker,

@@ -33,6 +33,11 @@ class InvariantViolation:
     time: float
     invariant: str
     detail: str
+    #: trace id of the offending request, when span tracing sampled it.
+    trace_id: Optional[str] = None
+    #: rendered span tree of the offending request (repro.obs), so the
+    #: report shows *where* the violated request spent its time.
+    span_tree: Optional[str] = None
 
     def __repr__(self) -> str:
         return (f"<Violation {self.invariant} @ {self.time:.2f}s: "
@@ -50,6 +55,9 @@ class InvariantChecker:
         self.reregister_periods = (
             reregister_periods if reregister_periods is not None
             else 2 * self.config.beacon_loss_tolerance)
+        #: the environment's span tracer (None when tracing is off);
+        #: lets violations carry the offending request's span tree.
+        self.tracer = self.env.tracer
         self.violations: List[InvariantViolation] = []
         # single-completion bookkeeping
         self.submitted = 0
@@ -62,9 +70,24 @@ class InvariantChecker:
     def ok(self) -> bool:
         return not self.violations
 
-    def violation(self, invariant: str, detail: str) -> None:
-        self.violations.append(
-            InvariantViolation(self.env.now, invariant, detail))
+    def violation(self, invariant: str, detail: str,
+                  trace_id: Optional[str] = None) -> None:
+        self.violations.append(InvariantViolation(
+            self.env.now, invariant, detail, trace_id=trace_id,
+            span_tree=self._span_tree_for(trace_id)))
+
+    def _span_tree_for(self, trace_id: Optional[str]) -> Optional[str]:
+        """Rendered span tree of the offending request, when the tracer
+        sampled it."""
+        tracer = (self.tracer if self.tracer is not None
+                  else self.env.tracer)
+        if trace_id is None or tracer is None:
+            return None
+        spans = tracer.trace(trace_id)
+        if not spans:
+            return None
+        from repro.obs.attribution import render_span_tree
+        return render_span_tree(spans)
 
     # -- single-completion ---------------------------------------------------
 
@@ -189,6 +212,7 @@ class InvariantChecker:
     def final_checks(self, engine: Any,
                      max_latency_s: float) -> None:
         """End-of-run assertions over the playback engine's record."""
+        from repro.analysis.metrics import LatencyStats
         if engine.in_flight:
             self.violation(
                 "bounded-reply",
@@ -199,9 +223,16 @@ class InvariantChecker:
                 "bounded-reply",
                 f"{self.submitted} submitted but only "
                 f"{len(engine.outcomes)} outcomes recorded")
-        worst = max(engine.latencies(), default=0.0)
+        stats = LatencyStats.from_samples(engine.latencies())
+        worst = stats.maximum
         if worst > max_latency_s + 1e-9:
+            # attach the offending request's span tree when sampled
+            offender = max(
+                (outcome for outcome in engine.outcomes
+                 if outcome.ok and outcome.latency is not None),
+                key=lambda outcome: outcome.latency)
             self.violation(
                 "bounded-reply",
                 f"completion took {worst:.2f}s, past the "
-                f"{max_latency_s:.2f}s client deadline")
+                f"{max_latency_s:.2f}s client deadline",
+                trace_id=getattr(offender, "trace_id", None))

@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
 from repro.analysis.metrics import (
+    LatencyStats,
     harvest_yield_series,
     yield_recovery_time,
 )
@@ -42,6 +43,8 @@ class ChaosReport:
     reregistration_times: List[float] = field(default_factory=list)
     counters: Dict[str, int] = field(default_factory=dict)
     spawn_failures: List[Any] = field(default_factory=list)
+    #: completed-request latency percentiles (LatencyStats.summary()).
+    latency: Dict[str, float] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -130,8 +133,14 @@ class ChaosReport:
                 repr(failure) for failure in self.spawn_failures[:5]))
         if self.violations:
             lines.append(f"VIOLATIONS ({len(self.violations)}):")
-            lines.extend(f"  - {violation!r}"
-                         for violation in self.violations)
+            for violation in self.violations:
+                lines.append(f"  - {violation!r}")
+                if violation.span_tree:
+                    lines.append(
+                        f"    offending request {violation.trace_id}:")
+                    lines.extend(
+                        "      " + tree_line for tree_line
+                        in violation.span_tree.splitlines())
         else:
             lines.append("invariants all held")
         return "\n".join(lines)
@@ -181,4 +190,5 @@ def build_report(campaign: Any, seed: int, fabric: Any, engine: Any,
         reregistration_times=list(checker.reregistration_times),
         counters=counters,
         spawn_failures=spawn_log,
+        latency=LatencyStats.from_samples(engine.latencies()).summary(),
     )

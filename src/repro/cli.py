@@ -7,10 +7,18 @@
     python -m repro run table2
     python -m repro run all
     python -m repro chaos mixed
+    python -m repro run endtoend --trace-out trace.json
+    python -m repro spans trace.json --tree 2
 
 Each experiment prints its result in the paper's shape (the same
 renderers the benchmarks use).  ``--quick`` runs the reduced scales the
 unit tests use; the default is full benchmark scale.
+
+Two unrelated things are both called "trace" here, so to be precise:
+``trace`` (the subcommand) generates or analyzes a synthetic *workload*
+trace — a list of HTTP requests to feed the simulator.  ``--trace-out``
+and the ``spans`` subcommand deal with *span* traces — per-request
+causal timelines recorded by :mod:`repro.obs` during a run.
 """
 
 from __future__ import annotations
@@ -168,6 +176,16 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--export", metavar="DIR", default=None,
                             help="also write <DIR>/<name>.json with the "
                                  "raw result data")
+    run_parser.add_argument("--trace-out", metavar="FILE", default=None,
+                            help="record span traces during the run and "
+                                 "write them to FILE as Chrome "
+                                 "trace_event JSON (open in Perfetto); "
+                                 "also prints a latency-attribution "
+                                 "report")
+    run_parser.add_argument("--sample", type=int, default=1,
+                            metavar="N",
+                            help="with --trace-out, sample every Nth "
+                                 "request (default 1: every request)")
     chaos_parser = subparsers.add_parser(
         "chaos", help="run a chaos campaign under invariant checking")
     chaos_parser.add_argument(
@@ -175,8 +193,31 @@ def build_parser() -> argparse.ArgumentParser:
         help="campaign name (omit or 'list' to see them)")
     chaos_parser.add_argument("--seed", type=int, default=1997,
                               help="master RNG seed (default 1997)")
+    chaos_parser.add_argument("--trace-out", metavar="FILE",
+                              default=None,
+                              help="record span traces during the "
+                                   "campaign and write Chrome "
+                                   "trace_event JSON to FILE; "
+                                   "violations then carry the "
+                                   "offending request's span tree")
+    chaos_parser.add_argument("--sample", type=int, default=1,
+                              metavar="N",
+                              help="with --trace-out, sample every Nth "
+                                   "request (default 1)")
+    spans_parser = subparsers.add_parser(
+        "spans", help="summarize a span-trace file written by "
+                      "'run --trace-out' (per-request causal "
+                      "timelines, not workload traces)")
+    spans_parser.add_argument("file", help="Chrome trace_event JSON "
+                                           "file from --trace-out")
+    spans_parser.add_argument("--tree", type=int, default=0,
+                              metavar="N",
+                              help="also render the N slowest span "
+                                   "trees with their critical paths")
     trace_parser = subparsers.add_parser(
-        "trace", help="generate or analyze a synthetic HTTP trace")
+        "trace", help="generate or analyze a synthetic workload trace "
+                      "(HTTP request list; for per-request span "
+                      "traces see 'run --trace-out' and 'spans')")
     trace_parser.add_argument("--duration", type=float, default=3600.0,
                               help="trace span in seconds "
                                    "(default 3600)")
@@ -217,6 +258,15 @@ def run_experiment(name: str, seed: int, quick: bool,
     return text
 
 
+def _finish_tracing(tracers, out_path: str) -> None:
+    """Write the Chrome trace file and print the attribution report."""
+    from repro.obs import build_attribution_report, export_chrome_trace
+
+    count = export_chrome_trace(tracers, out_path)
+    print(build_attribution_report(tracers).render())
+    print(f"[wrote {count} span event(s) to {out_path}]")
+
+
 def chaos_command(args) -> int:
     """Run a chaos campaign; nonzero exit if any invariant broke."""
     from repro.chaos import CAMPAIGNS, CampaignRunner, get_campaign
@@ -233,9 +283,55 @@ def chaos_command(args) -> int:
     except KeyError as error:
         print(error.args[0], file=sys.stderr)
         return 2
-    report = CampaignRunner(campaign, seed=args.seed).run()
-    print(report.render())
+    if args.trace_out is not None:
+        from repro.obs import capture_traces
+        with capture_traces(sample_every=args.sample) as tracers:
+            report = CampaignRunner(campaign, seed=args.seed).run()
+        print(report.render())
+        _finish_tracing(tracers, args.trace_out)
+    else:
+        report = CampaignRunner(campaign, seed=args.seed).run()
+        print(report.render())
     return 0 if report.ok else 1
+
+
+def spans_command(args) -> int:
+    """Summarize a span-trace file: attribution plus slowest trees."""
+    from repro.obs import (
+        AttributionReport,
+        critical_path,
+        load_chrome_trace,
+        render_span_tree,
+    )
+    from repro.obs.attribution import find_root
+
+    try:
+        traces = load_chrome_trace(args.file)
+    except (OSError, ValueError, KeyError) as error:
+        print(f"cannot read {args.file!r}: {error}", file=sys.stderr)
+        return 2
+    report = AttributionReport()
+    rows = []
+    for trace_id, spans in sorted(traces.items()):
+        report.add_trace(trace_id, spans)
+        root = find_root(spans)
+        if root is not None:
+            rows.append((root.duration, trace_id, spans))
+    total_spans = sum(len(spans) for spans in traces.values())
+    print(f"{args.file}: {len(traces)} trace(s), "
+          f"{total_spans} span(s)")
+    print(report.render())
+    rows.sort(key=lambda row: (-row[0], row[1]))
+    for duration, trace_id, spans in rows[:max(args.tree, 0)]:
+        print()
+        print(f"--- {trace_id} ({duration * 1000:.1f}ms) ---")
+        print(render_span_tree(spans))
+        path = critical_path(spans)
+        if path:
+            print("critical path: " + " -> ".join(
+                f"{span.name} {(right - left) * 1000:.1f}ms"
+                for span, left, right in path))
+    return 0
 
 
 def trace_command(args) -> int:
@@ -292,6 +388,8 @@ def main(argv: Optional[list] = None) -> int:
             return chaos_command(args)
         if args.command == "trace":
             return trace_command(args)
+        if args.command == "spans":
+            return spans_command(args)
         if args.experiment == "all":
             names = sorted(EXPERIMENTS)
         elif args.experiment in EXPERIMENTS:
@@ -301,10 +399,19 @@ def main(argv: Optional[list] = None) -> int:
                   file=sys.stderr)
             print(list_experiments(), file=sys.stderr)
             return 2
-        for name in names:
-            print(run_experiment(name, args.seed, args.quick,
-                                 args.export))
-            print()
+        if args.trace_out is not None:
+            from repro.obs import capture_traces
+            with capture_traces(sample_every=args.sample) as tracers:
+                for name in names:
+                    print(run_experiment(name, args.seed, args.quick,
+                                         args.export))
+                    print()
+            _finish_tracing(tracers, args.trace_out)
+        else:
+            for name in names:
+                print(run_experiment(name, args.seed, args.quick,
+                                     args.export))
+                print()
     except BrokenPipeError:
         # output piped into e.g. `head`; exit quietly like a good CLI
         return 0

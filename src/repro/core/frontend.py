@@ -92,6 +92,11 @@ class FrontEnd(Component):
         for index in range(config.frontend_threads):
             self.threads.put_nowait(index)
         self._manager_endpoint = None
+        #: the service span of the request currently *starting* its
+        #: handle() generator; service logics read it before their first
+        #: yield (safe: generator start-up is atomic in the cooperative
+        #: kernel).  None whenever tracing is off or unsampled.
+        self.current_trace = None
         # counters
         self.requests_received = 0
         self.responses_sent = 0
@@ -112,6 +117,7 @@ class FrontEnd(Component):
         if not self.alive:
             return reply
         self.requests_received += 1
+        span = self._ingress_span()
         if self._should_shed():
             # load-shedding admission control: a fast "busy" answer
             # costs nothing, while queueing toward certain timeout
@@ -119,12 +125,35 @@ class FrontEnd(Component):
             # requests that can still meet their deadline
             self.shed += 1
             self.errors += 1
+            if span is not None:
+                span.annotate(shed=True).finish()
             reply.succeed(Response(
                 status="error", path="shed",
                 detail="admission control: front end saturated"))
             return reply
-        self.spawn(self._handle(record, reply))
+        self.spawn(self._handle(record, reply, span))
         return reply
+
+    def _ingress_span(self):
+        """The front end's span for a newly accepted request.
+
+        Consumes a synchronous hand-off from an instrumented client
+        (the playback engine) when one is pending; otherwise — tracer
+        installed but nobody upstream opened a root — this front end is
+        the ingress and opens the root itself.  Returns None when
+        tracing is off or this request is unsampled.
+        """
+        tracer = self.env.tracer
+        if tracer is None:
+            return None
+        pending = tracer.take_pending()
+        if tracer.was_handed_off(pending):
+            if pending is None:
+                return None  # sampled out upstream
+            return pending.child("frontend", "service",
+                                 component=self.name)
+        return tracer.open_trace("frontend", category="service",
+                                 component=self.name)
 
     def _should_shed(self) -> bool:
         max_backlog = self.config.admission_max_backlog_s
@@ -134,13 +163,25 @@ class FrontEnd(Component):
             return False  # a thread is free: admit
         return self.netstack.backlog_s > max_backlog
 
-    def _handle(self, record: Any, reply):
+    def _handle(self, record: Any, reply, span=None):
         # connection setup through the kernel: the per-request serial cost
+        mark = self.env.now
         yield self.env.timeout(self.netstack.reserve(1.0))
         if self.access_link is not None:
             yield self.env.timeout(self.access_link.reserve(
                 self.config.request_overhead_bytes))
+        if span is not None:
+            span.record("netstack", "network", mark)
+            mark = self.env.now
         thread = yield self.threads.get()
+        if span is not None:
+            span.record("thread-wait", "queueing", mark)
+            service_span = span.child("service", "service")
+        else:
+            service_span = None
+        # always (re)set — an unsampled request must not start its
+        # handle() generator under a stale sampled context
+        self.current_trace = service_span
         try:
             response = yield from self.service.handle(self, record)
         except Exception as error:  # service bug: error page, not a crash
@@ -148,6 +189,10 @@ class FrontEnd(Component):
                                 detail=f"{type(error).__name__}: {error}")
         finally:
             self.threads.put_nowait(thread)
+            self.current_trace = None
+        if service_span is not None:
+            service_span.finish()
+            mark = self.env.now
         if response.status == "fallback":
             self.fallbacks += 1
         elif response.status == "error":
@@ -157,6 +202,12 @@ class FrontEnd(Component):
             out_bytes = response.size_bytes + \
                 self.config.request_overhead_bytes
             yield self.env.timeout(self.access_link.reserve(out_bytes))
+        if span is not None:
+            if self.access_link is not None:
+                span.record("access-link-out", "network", mark,
+                            bytes=response.size_bytes)
+            span.annotate(status=response.status,
+                          path=response.path).finish()
         if self.alive and not reply.triggered:
             self.responses_sent += 1
             reply.succeed(response)

@@ -183,7 +183,8 @@ class ManagerStub:
 
     def dispatch(self, tacc_request: Any, worker_type: str,
                  input_bytes: int, expected_cost_s: float = 0.0,
-                 deadline_s: Optional[float] = None):
+                 deadline_s: Optional[float] = None,
+                 trace: Optional[Any] = None):
         """Process generator: route one request to a worker of the type.
 
         Retries with fresh lottery draws on refusal or timeout, pausing
@@ -207,63 +208,89 @@ class ManagerStub:
             deadline_s = config.dispatch_attempts * \
                 config.dispatch_timeout_s
         deadline_at = env.now + deadline_s
-        for attempt in range(config.dispatch_attempts):
-            if attempt > 0:
-                self.retries += 1
-                backoff = self._backoff_delay(attempt)
-                if backoff > 0:
-                    if env.now + backoff >= deadline_at:
-                        self.deadline_expiries += 1
-                        raise DispatchError(
-                            f"deadline exhausted for {worker_type!r}")
-                    self.backoff_waits += 1
-                    yield env.timeout(backoff)
-            remaining = deadline_at - env.now
-            if remaining <= 0:
-                self.deadline_expiries += 1
-                raise DispatchError(
-                    f"deadline exhausted for {worker_type!r}")
-            state = self.pick(worker_type)
-            if state is None:
-                state = yield from self._wait_for_worker(
-                    worker_type, deadline_at)
-                if state is None:
+        span = None
+        if trace is not None:
+            span = trace.child("dispatch", "queueing",
+                               component=self.owner_name)
+            span.annotate(worker_type=worker_type)
+        try:
+            for attempt in range(config.dispatch_attempts):
+                if attempt > 0:
+                    self.retries += 1
+                    backoff = self._backoff_delay(attempt)
+                    if backoff > 0:
+                        if env.now + backoff >= deadline_at:
+                            self.deadline_expiries += 1
+                            raise DispatchError(
+                                f"deadline exhausted for {worker_type!r}")
+                        self.backoff_waits += 1
+                        mark = env.now
+                        yield env.timeout(backoff)
+                        if span is not None:
+                            span.record("backoff", "queueing", mark,
+                                        attempt=attempt)
+                remaining = deadline_at - env.now
+                if remaining <= 0:
+                    self.deadline_expiries += 1
                     raise DispatchError(
-                        f"no {worker_type!r} worker available")
-            self._next_request_id += 1
-            envelope = WorkEnvelope(
-                request_id=self._next_request_id,
-                tacc_request=tacc_request,
-                reply=env.event(),
-                submitted_at=env.now,
-                input_bytes=input_bytes,
-                expected_cost_s=expected_cost_s,
-                deadline_at=deadline_at,
-            )
-            # ship the input across the SAN
-            yield env.timeout(
-                self.cluster.network.transfer_delay(input_bytes))
-            if not state.advert.stub.submit(envelope):
-                # queue full: connection refused, try another worker now
+                        f"deadline exhausted for {worker_type!r}")
+                state = self.pick(worker_type)
+                if state is None:
+                    state = yield from self._wait_for_worker(
+                        worker_type, deadline_at)
+                    if state is None:
+                        raise DispatchError(
+                            f"no {worker_type!r} worker available")
+                self._next_request_id += 1
+                envelope = WorkEnvelope(
+                    request_id=self._next_request_id,
+                    tacc_request=tacc_request,
+                    reply=env.event(),
+                    submitted_at=env.now,
+                    input_bytes=input_bytes,
+                    expected_cost_s=expected_cost_s,
+                    deadline_at=deadline_at,
+                    trace=span,
+                )
+                # ship the input across the SAN
+                mark = env.now
+                yield env.timeout(
+                    self.cluster.network.transfer_delay(input_bytes))
+                if span is not None:
+                    span.record("san-transfer", "network", mark,
+                                bytes=input_bytes)
+                if not state.advert.stub.submit(envelope):
+                    # queue full: connection refused, try another worker now
+                    self.adverts.pop(state.advert.worker_name, None)
+                    continue
+                state.sent_since_report += 1
+                timer = env.timeout(max(0.0, min(
+                    config.dispatch_timeout_s, deadline_at - env.now)))
+                try:
+                    outcome = yield env.any_of([envelope.reply, timer])
+                except WorkerError as error:
+                    self.worker_errors += 1
+                    raise
+                if envelope.reply in outcome:
+                    if span is not None:
+                        span.annotate(
+                            attempts=attempt + 1,
+                            worker=state.advert.worker_name)
+                    return outcome[envelope.reply]
+                # "if a request is sent to a worker that no longer exists,
+                # the request will time out and another worker will be
+                # chosen."
+                self.timeouts += 1
                 self.adverts.pop(state.advert.worker_name, None)
-                continue
-            state.sent_since_report += 1
-            timer = env.timeout(max(0.0, min(
-                config.dispatch_timeout_s, deadline_at - env.now)))
-            try:
-                outcome = yield env.any_of([envelope.reply, timer])
-            except WorkerError as error:
-                self.worker_errors += 1
-                raise
-            if envelope.reply in outcome:
-                return outcome[envelope.reply]
-            # "if a request is sent to a worker that no longer exists,
-            # the request will time out and another worker will be
-            # chosen."
-            self.timeouts += 1
-            self.adverts.pop(state.advert.worker_name, None)
-        raise DispatchError(
-            f"dispatch budget exhausted for {worker_type!r}")
+            raise DispatchError(
+                f"dispatch budget exhausted for {worker_type!r}")
+        except BaseException as error:
+            if span is not None:
+                span.annotate(error=type(error).__name__)
+            raise
+        finally:
+            if span is not None:
+                span.finish()
 
     def _wait_for_worker(self, worker_type: str,
                          deadline_at: Optional[float] = None):

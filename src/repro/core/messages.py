@@ -132,3 +132,9 @@ class WorkEnvelope:
     #: ``None`` means unbounded.  Stages past the deadline may shed the
     #: request — the client has already fallen back.
     deadline_at: Optional[float] = None
+    #: causal trace context (a repro.obs Span) threaded across the SAN
+    #: hop; ``None`` when tracing is off or the request is unsampled.
+    trace: Optional[Any] = None
+    #: set by the receiving stub when the envelope joins its queue, so
+    #: the service loop can close the queueing span.
+    enqueued_at: Optional[float] = None

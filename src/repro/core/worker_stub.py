@@ -98,6 +98,8 @@ class WorkerStub(Component):
         if not self.queue.try_put(envelope):
             self.refused += 1
             return False
+        if envelope.trace is not None:
+            envelope.enqueued_at = self.env.now
         return True
 
     # -- processes ------------------------------------------------------------------
@@ -110,6 +112,11 @@ class WorkerStub(Component):
     def _service_loop(self):
         while True:
             envelope: WorkEnvelope = yield self.queue.get()
+            if envelope.trace is not None \
+                    and envelope.enqueued_at is not None:
+                envelope.trace.record(
+                    "worker-queue", "queueing", envelope.enqueued_at,
+                    component=self.name, depth=self.queue.length)
             if (self.config.shed_expired_requests
                     and envelope.deadline_at is not None
                     and self.env.now >= envelope.deadline_at):
@@ -117,9 +124,15 @@ class WorkerStub(Component):
                 # already fallen back, so executing this would only add
                 # queueing delay in front of live requests
                 self.expired += 1
+                if envelope.trace is not None:
+                    envelope.trace.annotate(shed_expired=True)
                 continue
             self.busy = True
             self._in_service_cost_s = envelope.expected_cost_s or 0.0
+            service_span = None
+            if envelope.trace is not None:
+                service_span = envelope.trace.child(
+                    "worker-service", "service", component=self.name)
             try:
                 work = self._work_sample(envelope)
                 yield from self.node.compute(work)
@@ -127,6 +140,8 @@ class WorkerStub(Component):
             except WorkerError as error:
                 # a *reported* failure: this request only
                 self.failed += 1
+                if service_span is not None:
+                    service_span.annotate(error="WorkerError").finish()
                 if not envelope.reply.triggered:
                     envelope.reply.fail(error)
                 continue
@@ -145,6 +160,8 @@ class WorkerStub(Component):
                 return
             finally:
                 self.busy = False
+            if service_span is not None:
+                service_span.finish()
             self.served += 1
             self.spawn(self._deliver(envelope, result))
 
@@ -161,8 +178,13 @@ class WorkerStub(Component):
 
     def _deliver(self, envelope: WorkEnvelope, result) -> None:
         """Ship the result back across the SAN, then complete the reply."""
+        mark = self.env.now
         delay = self.cluster.network.transfer_delay(result.size)
         yield self.env.timeout(delay)
+        if envelope.trace is not None:
+            envelope.trace.record("san-reply", "network", mark,
+                                  component=self.name,
+                                  bytes=result.size)
         if self.alive and not envelope.reply.triggered:
             envelope.reply.succeed(result)
 

@@ -39,7 +39,11 @@ class JpegBenchService:
         self._estimator = JpegDistiller()
 
     def handle(self, frontend, record):
+        trace = frontend.current_trace
+        mark = self.cluster.env.now
         yield self.cluster.env.timeout(CACHE_HIT_S)
+        if trace is not None:
+            trace.record("cache-hit", "cache", mark, hit=True)
         content = Content(record.url, record.mime,
                           b"\x00" * record.size_bytes)
         request = TACCRequest(inputs=[content], params={},
@@ -48,7 +52,7 @@ class JpegBenchService:
         try:
             result = yield from frontend.stub.dispatch(
                 request, self.worker_type, content.size,
-                expected_cost_s=expected)
+                expected_cost_s=expected, trace=trace)
         except (DispatchError, WorkerError):
             return Response(status="fallback", path="original",
                             content=content, size_bytes=content.size)

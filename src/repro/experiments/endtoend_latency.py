@@ -76,20 +76,33 @@ class ModemDelivery:
     def submit(self, record):
         env = self.transend.cluster.env
         final = env.event()
+        root = None
+        tracer = env.tracer
+        if tracer is not None:
+            # peek (not take): the front end downstream consumes the
+            # hand-off; we only want the root to hang the modem span on
+            pending = tracer.peek_pending()
+            if tracer.was_handed_off(pending):
+                root = pending
         inner = self.transend.submit(record)
-        env.process(self._deliver(record, inner, final))
+        env.process(self._deliver(record, inner, final, root))
         return final
 
-    def _deliver(self, record, inner, final):
+    def _deliver(self, record, inner, final, root=None):
         env = self.transend.cluster.env
         response = yield inner
         bandwidth = self.modem_bps(record.client_id)
+        mark = env.now
         start = max(env.now,
                     self._modem_busy_until.get(record.client_id, 0.0))
         transfer = response.size_bytes / bandwidth
         self._modem_busy_until[record.client_id] = start + transfer
         self.bytes_delivered += response.size_bytes
         yield env.timeout((start - env.now) + transfer)
+        if root is not None:
+            root.record("modem", "client", mark,
+                        bytes=response.size_bytes,
+                        bps=int(bandwidth))
         if not final.triggered:
             final.succeed(response)
 

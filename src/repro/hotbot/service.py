@@ -256,12 +256,37 @@ class HotBot:
         page 2 is ``offset=10`` with the default top_k.
         """
         reply = self.cluster.env.event()
+        span = self._ingress_span()
         self.cluster.env.process(
-            self._handle(terms, user_id, offset, reply))
+            self._handle(terms, user_id, offset, reply, span))
         return reply
 
-    def _handle(self, terms, user_id, offset, reply):
-        result = yield from self.query(terms, user_id, offset)
+    def _ingress_span(self):
+        """Front-end span for one query (HotBot has no FrontEnd
+        component; the query path itself is the ingress)."""
+        tracer = self.cluster.env.tracer
+        if tracer is None:
+            return None
+        pending = tracer.take_pending()
+        if tracer.was_handed_off(pending):
+            if pending is None:
+                return None
+            return pending.child("query", "service",
+                                 component="hotbot-fe")
+        return tracer.open_trace("query", category="service",
+                                 component="hotbot-fe")
+
+    def _handle(self, terms, user_id, offset, reply, span=None):
+        try:
+            result = yield from self.query(terms, user_id, offset,
+                                           trace=span)
+        finally:
+            if span is not None:
+                span.finish()
+        if span is not None:
+            span.annotate(coverage=round(result.coverage, 4),
+                          partial=result.partial,
+                          from_cache=result.from_cache)
         if not reply.triggered:
             reply.succeed(result)
 
@@ -269,19 +294,29 @@ class HotBot:
     CACHE_HIT_S = 0.003
 
     def query(self, terms: Sequence[str], user_id: str = "anon",
-              offset: int = 0):
+              offset: int = 0, trace=None):
         """Process generator: the full front-end query path."""
         env = self.cluster.env
+        mark = env.now
         thread = yield self._threads.get()
+        if trace is not None:
+            trace.record("thread-wait", "queueing", mark)
         try:
             # ACID side first: profile + ad tracking
+            mark = env.now
             yield from self.database.request()
+            if trace is not None:
+                trace.record("db-request", "service", mark,
+                             component="informix")
             # recent-searches cache: repeated queries and later result
             # pages never touch the partitions
             page = self.query_cache.get_page(terms, offset,
                                              self.config.top_k)
             if page is not None:
+                mark = env.now
                 yield env.timeout(self.CACHE_HIT_S)
+                if trace is not None:
+                    trace.record("query-cache-hit", "cache", mark)
                 self.queries += 1
                 self.cache_served += 1
                 return QueryResult(
@@ -303,6 +338,16 @@ class HotBot:
                     continue
                 if leg[2]:
                     replica_legs += 1
+                if trace is not None:
+                    # one span per scatter leg, closed by the reply
+                    # event's own completion callback (observation
+                    # only: appending a callback perturbs nothing)
+                    leg_span = trace.child(
+                        f"search:p{partition}", "service",
+                        component=f"search{partition}")
+                    leg_span.annotate(replica=leg[2])
+                    leg[1].callbacks.append(
+                        lambda _event, _span=leg_span: _span.finish())
                 legs.append(leg)
             if not legs:
                 self.queries += 1

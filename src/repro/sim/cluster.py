@@ -38,6 +38,11 @@ class Cluster:
         self.multicast = MulticastBus(
             self.env, self.network, self.streams.stream("multicast"))
         self.nodes: Dict[str, Node] = {}
+        if self.env.tracer is None:
+            # opt-in span tracing for CLI-driven runs: the hook is only
+            # armed inside repro.obs.capture_traces(); otherwise no-op.
+            from repro.obs.runtime import attach_to_new_cluster
+            attach_to_new_cluster(self)
 
     # -- topology -----------------------------------------------------------
 

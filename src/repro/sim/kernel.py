@@ -355,6 +355,9 @@ class Environment:
         self._heap: List[Any] = []
         self._seq = 0
         self._active_process: Optional[Process] = None
+        #: opt-in span tracer (see repro.obs); None means tracing is
+        #: off and every instrumentation site is a single attr check.
+        self.tracer: Optional[Any] = None
 
     @property
     def now(self) -> float:

@@ -69,10 +69,17 @@ class DispatchTable:
     def add_rule(self, pipeline: Pipeline, **match) -> "DispatchTable":
         return self.add(DispatchRule(pipeline, **match))
 
-    def select(self, content: Content) -> Optional[Pipeline]:
+    def select(self, content: Content,
+               trace=None) -> Optional[Pipeline]:
         """Pipeline for this content, or the default, or None
-        (None means pass the content through unmodified)."""
+        (None means pass the content through unmodified).  A ``trace``
+        span gets the matched rule recorded as an annotation."""
         for rule in self.rules:
             if rule.matches(content):
+                if trace is not None:
+                    trace.annotate(dispatch_rule=rule.name)
                 return rule.pipeline
+        if trace is not None:
+            trace.annotate(dispatch_rule="default" if self.default
+                           else "passthrough")
         return self.default

@@ -63,16 +63,19 @@ class Pipeline:
                 mime = worker.produces
 
     def execute(self, registry: WorkerRegistry,
-                request: TACCRequest) -> Content:
+                request: TACCRequest, trace=None) -> Content:
         """Run all stages locally, threading content through the chain.
 
         This is the library-mode executor; under the SNS layer the front
         end performs the same walk but dispatches each stage to a remote
-        worker instance chosen by lottery scheduling.
+        worker instance chosen by lottery scheduling.  With a ``trace``
+        span, each stage records an (instantaneous, sim-clock-wise)
+        child span carrying its input/output sizes — the per-stage
+        timing under the SNS layer lives in the dispatch/worker spans.
         """
         inputs = list(request.inputs)
         result: Optional[Content] = None
-        for worker_type in self.stages:
+        for index, worker_type in enumerate(self.stages):
             worker = registry.create(worker_type)
             stage_request = TACCRequest(
                 inputs=inputs,
@@ -81,6 +84,13 @@ class Pipeline:
                 user_id=request.user_id,
             )
             result = worker.run(stage_request)
+            if trace is not None:
+                trace.record(
+                    f"stage:{worker_type}", "service",
+                    trace.tracer.env.now, component="pipeline",
+                    stage=index,
+                    in_bytes=sum(item.size for item in inputs),
+                    out_bytes=result.size)
             inputs = [result]
         assert result is not None
         return result

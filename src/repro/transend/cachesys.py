@@ -142,7 +142,7 @@ class CacheSubsystem:
 
     # -- operations -----------------------------------------------------------------
 
-    def lookup(self, key: str):
+    def lookup(self, key: str, trace=None):
         """Process generator: fetch ``key`` through its cache node.
 
         Pays per-request TCP setup plus the node's (queued) hit service
@@ -154,7 +154,14 @@ class CacheSubsystem:
         cache_node = self.node_for(key)
         if cache_node is None:
             self.misses += 1
+            if trace is not None:
+                trace.record("cache-lookup", "cache", env.now,
+                             hit=False, no_node=True)
             return None
+        span = None
+        if trace is not None:
+            span = trace.child("cache-lookup", "cache",
+                               component=cache_node.name)
         reply = cache_node.lookup(key)
         timer = env.timeout(self.lookup_timeout_s)
         outcome = yield env.any_of([reply, timer])
@@ -162,12 +169,16 @@ class CacheSubsystem:
             self.timeouts += 1
             self.misses += 1
             self._note_crashes()
+            if span is not None:
+                span.annotate(hit=False, timeout=True).finish()
             return None
         value = outcome[reply]
         if value is None:
             self.misses += 1
         else:
             self.hits += 1
+        if span is not None:
+            span.annotate(hit=value is not None).finish()
         return value
 
     def store(self, key: str, content: Content,
@@ -181,7 +192,7 @@ class CacheSubsystem:
         if variant_of is not None:
             self.variants.setdefault(variant_of, set()).add(key)
 
-    def any_variant(self, url: str):
+    def any_variant(self, url: str, trace=None):
         """Process generator: any cached distilled variant of ``url``.
 
         The BASE approximate answer: "if the system is too heavily
@@ -189,7 +200,7 @@ class CacheSubsystem:
         different version from the cache."
         """
         for key in sorted(self.variants.get(url, ())):
-            value = yield from self.lookup(key)
+            value = yield from self.lookup(key, trace=trace)
             if value is not None:
                 return value
         return None

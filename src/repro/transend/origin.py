@@ -53,9 +53,14 @@ class OriginServer:
         self.bytes_fetched = 0
         self._real_cache: Dict[str, Content] = {}
 
-    def fetch(self, record: TraceRecord):
+    def fetch(self, record: TraceRecord, trace=None):
         """Process generator: fetch ``record``'s content from the wide
         area, paying the miss penalty and the Internet link."""
+        span = None
+        if trace is not None:
+            span = trace.child("origin-fetch", "origin",
+                               component="internet")
+            span.annotate(url=record.url, bytes=record.size_bytes)
         penalty = self.latency.miss_penalty()
         yield self.cluster.env.timeout(penalty)
         if self.internet_link is not None:
@@ -63,6 +68,8 @@ class OriginServer:
             yield self.cluster.env.timeout(delay)
         self.fetches += 1
         self.bytes_fetched += record.size_bytes
+        if span is not None:
+            span.annotate(miss_penalty_s=round(penalty, 6)).finish()
         return self.materialize(record)
 
     # -- content materialization -----------------------------------------------

@@ -111,11 +111,18 @@ class TranSendLogic:
     # -- the request path ---------------------------------------------------------
 
     def handle(self, frontend: FrontEnd, record: TraceRecord):
+        # span context for this request, if the front end sampled it
+        # (must be read before the first yield — see FrontEnd.current_trace)
+        trace = frontend.current_trace
         profile_cache = self.profile_cache_for(frontend.name)
         cached_profile = record.client_id in profile_cache._cache
         profile = profile_cache.get(record.client_id)
         if not cached_profile:
+            mark = self.cluster.env.now
             yield self.cluster.env.timeout(PROFILE_READ_MISS_S)
+            if trace is not None:
+                trace.record("profile-read", "service", mark,
+                             component="profile-db")
         preferences = effective_preferences(profile)
         if self.adaptation is not None:
             preferences = self.adaptation.adapt(record.client_id,
@@ -123,18 +130,18 @@ class TranSendLogic:
 
         worker_type = DISTILLER_FOR_MIME.get(record.mime)
         if not self._should_distill(record, preferences, worker_type):
-            original = yield from self._get_original(record)
+            original = yield from self._get_original(record, trace)
             return self._respond("passthrough", "ok", original)
 
         # 1. is the exact distilled representation already cached?
         key = distilled_cache_key(record.url, preferences)
         if self.config.cache_distilled:
-            cached = yield from self.cachesys.lookup(key)
+            cached = yield from self.cachesys.lookup(key, trace=trace)
             if cached is not None:
                 return self._respond("cache-hit-distilled", "ok", cached)
 
         # 2. fetch the original (cache, else Internet)
-        original = yield from self._get_original(record)
+        original = yield from self._get_original(record, trace)
 
         # 3. distill
         request = TACCRequest(
@@ -147,14 +154,15 @@ class TranSendLogic:
         try:
             result = yield from frontend.stub.dispatch(
                 request, worker_type, original.size,
-                expected_cost_s=expected)
+                expected_cost_s=expected, trace=trace)
         except WorkerError:
             # pathological input: bypass the distiller, note the fault
             return self._respond("fallback-original", "fallback",
                                  original, detail="worker error")
         except DispatchError:
             # overload or total distiller loss: approximate answers
-            variant = yield from self.cachesys.any_variant(record.url)
+            variant = yield from self.cachesys.any_variant(
+                record.url, trace=trace)
             if variant is not None:
                 return self._respond("fallback-variant", "fallback",
                                      variant, detail="stale variant")
@@ -177,12 +185,12 @@ class TranSendLogic:
             return bool(preferences.get("munge_html", True))
         return bool(preferences.get("distill_images", True))
 
-    def _get_original(self, record: TraceRecord):
+    def _get_original(self, record: TraceRecord, trace=None):
         key = original_cache_key(record.url)
-        cached = yield from self.cachesys.lookup(key)
+        cached = yield from self.cachesys.lookup(key, trace=trace)
         if cached is not None:
             return cached
-        content = yield from self.origin.fetch(record)
+        content = yield from self.origin.fetch(record, trace=trace)
         self.cachesys.store(key, content)
         return content
 

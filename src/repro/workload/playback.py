@@ -39,6 +39,8 @@ class RequestOutcome:
     ok: bool
     response: Any = None
     error: Optional[str] = None
+    #: id of this request's span tree when it was sampled for tracing.
+    trace_id: Optional[str] = None
 
     @property
     def latency(self) -> Optional[float]:
@@ -125,29 +127,60 @@ class PlaybackEngine:
         started = self.env.now
         self.in_flight += 1
         self.max_in_flight = max(self.max_in_flight, self.in_flight)
+        tracer = self.env.tracer
+        root = None
+        if tracer is not None:
+            # client-side root span: covers the whole request including
+            # queueing/network the service never sees.  The hand-off
+            # rides the synchronous submit() chain into the front end.
+            root = tracer.open_trace("request", category="other")
+            if root is not None:
+                url = getattr(record, "url", None)
+                if url is not None:
+                    root.annotate(url=url)
+        trace_id = root.trace_id if root is not None else None
         try:
+            if tracer is not None:
+                tracer.hand_off(root)
             response_event = self.submit(record)
+            if tracer is not None:
+                # the chain either consumed the hand-off synchronously
+                # or never will (no instrumented ingress): clear it so
+                # it cannot leak into an unrelated request
+                tracer.drop_pending()
             if self.timeout_s is not None:
                 timer = self.env.timeout(self.timeout_s)
                 condition = yield self.env.any_of([response_event, timer])
                 if response_event not in condition:
+                    if root is not None:
+                        root.annotate(outcome="timeout")
                     self.outcomes.append(RequestOutcome(
                         record=record, submitted_at=started,
-                        completed_at=None, ok=False, error="timeout"))
+                        completed_at=None, ok=False, error="timeout",
+                        trace_id=trace_id))
                     return
                 response = condition[response_event]
             else:
                 response = yield response_event
+            if root is not None:
+                root.annotate(
+                    outcome=getattr(response, "status", "ok"))
             self.outcomes.append(RequestOutcome(
                 record=record, submitted_at=started,
-                completed_at=self.env.now, ok=True, response=response))
+                completed_at=self.env.now, ok=True, response=response,
+                trace_id=trace_id))
         except Interrupt:
             raise
         except Exception as error:  # adapter-level failure
+            if root is not None:
+                root.annotate(outcome=f"error:{type(error).__name__}")
             self.outcomes.append(RequestOutcome(
                 record=record, submitted_at=started, completed_at=None,
-                ok=False, error=f"{type(error).__name__}: {error}"))
+                ok=False, error=f"{type(error).__name__}: {error}",
+                trace_id=trace_id))
         finally:
+            if root is not None:
+                root.finish()
             self.in_flight -= 1
 
     # -- summary -------------------------------------------------------------------

@@ -27,6 +27,64 @@ def test_latency_stats_basic():
     assert stats.percentile(1.0) == 0.5
 
 
+def test_latency_stats_from_samples_and_total():
+    stats = LatencyStats.from_samples([0.3, 0.1, 0.2])
+    assert stats.count == 3
+    assert stats.total == pytest.approx(0.6)
+    assert stats.p50 == pytest.approx(0.2)
+    assert LatencyStats.from_samples([]).maximum == 0.0
+
+
+def test_latency_stats_merge_pools_exact_percentiles():
+    left = LatencyStats.from_samples([0.1, 0.2])
+    right = LatencyStats.from_samples([0.3, 0.4])
+    assert left.merge(right) is left
+    assert left.count == 4
+    # pooled percentiles are exact, identical to one flat accumulator
+    flat = LatencyStats.from_samples([0.1, 0.2, 0.3, 0.4])
+    for fraction in (0.0, 0.25, 0.5, 0.95, 1.0):
+        assert left.percentile(fraction) == \
+            pytest.approx(flat.percentile(fraction))
+    # merging leaves the donor untouched
+    assert right.count == 2
+
+
+def test_latency_stats_merge_empty_is_noop():
+    stats = LatencyStats.from_samples([0.5])
+    stats.merge(LatencyStats())
+    assert stats.count == 1
+    assert stats.maximum == 0.5
+
+
+def test_latency_histogram_buckets_and_edges():
+    stats = LatencyStats.from_samples([0.0, 0.1, 0.5, 0.9, 1.0])
+    rows = stats.histogram(bins=2)
+    assert len(rows) == 2
+    (l0, r0, c0), (l1, r1, c1) = rows
+    assert l0 == pytest.approx(0.0)
+    assert r1 == pytest.approx(1.0)
+    # the top edge is inclusive: the 1.0 maximum lands in the last bin
+    assert c0 == 2 and c1 == 3
+    assert c0 + c1 == stats.count
+
+
+def test_latency_histogram_explicit_bounds_clip():
+    stats = LatencyStats.from_samples([0.1, 0.5, 2.0])
+    rows = stats.histogram(bins=4, lo=0.0, hi=1.0)
+    assert sum(count for _, _, count in rows) == 2  # 2.0 clipped out
+    assert rows[0][0] == pytest.approx(0.0)
+    assert rows[-1][1] == pytest.approx(1.0)
+
+
+def test_latency_histogram_degenerate_inputs():
+    assert LatencyStats().histogram() == []
+    with pytest.raises(ValueError):
+        LatencyStats.from_samples([0.1]).histogram(bins=0)
+    # all-identical samples still produce one populated bin
+    rows = LatencyStats.from_samples([0.2, 0.2]).histogram(bins=3)
+    assert sum(count for _, _, count in rows) == 2
+
+
 def test_latency_percentile_interpolates():
     stats = LatencyStats().extend([0.0, 1.0])
     assert stats.percentile(0.25) == pytest.approx(0.25)

@@ -97,3 +97,110 @@ def test_chaos_exit_code_reflects_violations(capsys, monkeypatch):
     monkeypatch.setattr(WorkerStub, "_register", no_register)
     assert main(["chaos", "smoke", "--seed", "3"]) == 1
     assert "VIOLATIONS" in capsys.readouterr().out
+
+
+def test_unknown_experiment_lists_every_name(capsys):
+    """Exit 2, no traceback, and the full catalog on stderr."""
+    assert main(["run", "nonsense"]) == 2
+    err = capsys.readouterr().err
+    for name in EXPERIMENTS:
+        assert name in err
+
+
+def test_unknown_campaign_lists_every_name(capsys):
+    from repro.chaos import CAMPAIGNS
+
+    assert main(["chaos", "nonsense"]) == 2
+    err = capsys.readouterr().err
+    for name in CAMPAIGNS:
+        assert name in err
+
+
+# -- span tracing (--trace-out / spans) -----------------------------------------
+
+
+def test_run_trace_out_writes_valid_chrome_trace(tmp_path, capsys):
+    import json
+
+    out = tmp_path / "trace.json"
+    assert main(["run", "endtoend", "--quick", "--seed", "1997",
+                 "--trace-out", str(out), "--sample", "10"]) == 0
+    text = capsys.readouterr().out
+    assert "latency reduction" in text        # the experiment itself
+    assert "latency attribution over" in text  # plus the span report
+    assert "components sum to e2e within" in text
+    document = json.loads(out.read_text())
+    events = [event for event in document["traceEvents"]
+              if event.get("ph") == "X"]
+    assert events
+    for event in events:
+        assert {"name", "ts", "dur", "pid", "tid"} <= set(event)
+        assert "trace_id" in event["args"]
+
+
+def test_trace_out_components_sum_per_sampled_request(tmp_path,
+                                                      capsys):
+    """The acceptance criterion through the CLI: every sampled request
+    in the written file decomposes to within 1% of its end-to-end."""
+    from repro.obs import load_chrome_trace
+    from repro.obs.attribution import attribute_trace, find_root
+
+    out = tmp_path / "trace.json"
+    assert main(["run", "endtoend", "--quick", "--seed", "1997",
+                 "--trace-out", str(out), "--sample", "5"]) == 0
+    capsys.readouterr()
+    traces = load_chrome_trace(str(out))
+    assert traces
+    for trace_id, spans in traces.items():
+        root = find_root(spans)
+        components = attribute_trace(spans)
+        if root is None or not components or root.duration == 0:
+            continue
+        residual = abs(sum(components.values()) - root.duration)
+        assert residual <= 0.01 * root.duration, trace_id
+
+
+def test_spans_subcommand_summarizes_a_trace_file(tmp_path, capsys):
+    out = tmp_path / "trace.json"
+    assert main(["run", "endtoend", "--quick", "--seed", "1997",
+                 "--trace-out", str(out), "--sample", "10"]) == 0
+    capsys.readouterr()
+    assert main(["spans", str(out), "--tree", "1"]) == 0
+    text = capsys.readouterr().out
+    assert "trace(s)" in text
+    assert "latency attribution over" in text
+    assert "critical path:" in text
+    assert "request [other] @client" in text
+
+
+def test_spans_subcommand_missing_file(tmp_path, capsys):
+    assert main(["spans", str(tmp_path / "absent.json")]) == 2
+    assert "cannot read" in capsys.readouterr().err
+
+
+def test_chaos_trace_out(tmp_path, capsys):
+    import json
+
+    out = tmp_path / "chaos-trace.json"
+    assert main(["chaos", "smoke", "--seed", "3",
+                 "--trace-out", str(out), "--sample", "20"]) == 0
+    text = capsys.readouterr().out
+    assert "invariants all held" in text
+    assert "latency attribution over" in text
+    assert json.loads(out.read_text())["traceEvents"]
+
+
+def test_run_without_trace_out_never_installs_tracers(capsys):
+    """The strictly-opt-in guarantee at the CLI layer."""
+    from repro.obs import tracing_settings
+
+    assert main(["run", "table1", "--quick"]) == 0
+    capsys.readouterr()
+    assert tracing_settings() is None
+
+
+def test_help_disambiguates_workload_traces_from_spans():
+    parser = build_parser()
+    text = parser.format_help()
+    assert "workload trace" in text
+    assert "spans" in text
