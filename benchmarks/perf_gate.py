@@ -1,0 +1,78 @@
+"""Perf regression gate for the kernel benchmark.
+
+Compares a freshly measured ``BENCH_kernel.json`` against the committed
+baseline and exits non-zero when throughput regressed beyond the
+allowed fraction.  Rates are normalized by each file's
+``calibration_ops_per_sec`` (a fixed pure-Python spin loop measured on
+the same machine at the same time), so a slower CI runner is not
+mistaken for a slower kernel.
+
+Usage::
+
+    python benchmarks/perf_gate.py NEW.json [--baseline BENCH_kernel.json]
+                                            [--max-regression 0.25]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+#: (label, path into the JSON) for each gated rate.
+GATED = [
+    ("queue-heavy events/sec", ("queue_heavy", "events_per_sec")),
+    ("trace-replay requests/sec", ("trace_replay", "requests_per_sec")),
+]
+
+
+def _rate(payload: dict, path) -> float:
+    value = payload
+    for key in path:
+        value = value[key]
+    return float(value)
+
+
+def _normalized(payload: dict, path) -> float:
+    return _rate(payload, path) / float(payload["calibration_ops_per_sec"])
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("new", type=Path,
+                        help="freshly measured BENCH_kernel.json")
+    parser.add_argument("--baseline", type=Path,
+                        default=Path(__file__).resolve().parents[1]
+                        / "BENCH_kernel.json",
+                        help="committed baseline (default: repo root)")
+    parser.add_argument("--max-regression", type=float, default=0.25,
+                        help="maximum allowed fractional slowdown")
+    args = parser.parse_args(argv)
+
+    new = json.loads(args.new.read_text(encoding="utf-8"))
+    baseline = json.loads(args.baseline.read_text(encoding="utf-8"))
+
+    failed = False
+    for label, path in GATED:
+        new_norm = _normalized(new, path)
+        base_norm = _normalized(baseline, path)
+        ratio = new_norm / base_norm if base_norm else float("inf")
+        floor = 1.0 - args.max_regression
+        verdict = "ok" if ratio >= floor else "REGRESSION"
+        print(f"{label}: raw {_rate(new, path):.0f} vs baseline "
+              f"{_rate(baseline, path):.0f} | normalized ratio "
+              f"{ratio:.2f} (floor {floor:.2f}) -> {verdict}")
+        if ratio < floor:
+            failed = True
+
+    if failed:
+        print(f"FAIL: throughput regressed more than "
+              f"{args.max_regression:.0%} vs {args.baseline}")
+        return 1
+    print("perf gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

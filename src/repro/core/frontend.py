@@ -117,7 +117,9 @@ class FrontEnd(Component):
         if not self.alive:
             return reply
         self.requests_received += 1
-        span = self._ingress_span()
+        # skip the ingress-span machinery entirely when tracing is off:
+        # submit() runs once per request, so the guard lives here
+        span = self._ingress_span() if self.env.tracer is not None else None
         if self._should_shed():
             # load-shedding admission control: a fast "busy" answer
             # costs nothing, while queueing toward certain timeout

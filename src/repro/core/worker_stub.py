@@ -228,9 +228,11 @@ class WorkerStub(Component):
         """Seconds of queued work: each item weighted by its expected
         cost, plus the in-service item (footnote 2 of Section 3.1.2)."""
         total = self._in_service_cost_s if self.busy else 0.0
-        for envelope in self.queue._items:
-            total += envelope.expected_cost_s or 0.0
-        return total
+        # the queue can be tens of thousands deep under overload and this
+        # runs every report interval: keep the walk a single C-level sum
+        return total + sum(
+            envelope.expected_cost_s or 0.0
+            for envelope in self.queue._items)
 
     def partition(self, duration_s: float) -> None:
         """Cut this worker off the SAN for ``duration_s`` (a network

@@ -7,6 +7,14 @@ them in simulated-time order.  The design follows the classic SimPy model,
 but is self-contained so the repository has no external simulation
 dependency.
 
+The kernel is the innermost loop of every experiment — a million-request
+trace replay pushes tens of millions of events through
+:meth:`Environment.run` — so the hot paths are deliberately low-level:
+events use ``__slots__``, queues use :class:`collections.deque`, the
+scheduler inlines its heap pushes, and the run loop avoids per-event
+method dispatch.  ``benchmarks/test_bench_kernel.py`` tracks the
+resulting events/second in ``BENCH_kernel.json``.
+
 Example
 -------
 >>> env = Environment()
@@ -23,7 +31,8 @@ Example
 
 from __future__ import annotations
 
-import heapq
+from collections import deque
+from heapq import heappop, heappush
 from typing import Any, Callable, Generator, Iterable, List, Optional
 
 #: Scheduling priorities.  Urgent events (interrupts, process resumes) are
@@ -63,11 +72,14 @@ class Event:
     by ``yield``-ing them.
     """
 
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_defused")
+
     def __init__(self, env: "Environment") -> None:
         self.env = env
         self.callbacks: Optional[List[Callable[["Event"], None]]] = []
         self._value: Any = PENDING
         self._ok = True
+        self._defused = False
 
     @property
     def triggered(self) -> bool:
@@ -79,7 +91,7 @@ class Event:
 
     @property
     def ok(self) -> bool:
-        if not self.triggered:
+        if self._value is PENDING:
             raise SimulationError("event value not yet available")
         return self._ok
 
@@ -91,10 +103,12 @@ class Event:
 
     def succeed(self, value: Any = None) -> "Event":
         """Trigger the event successfully with ``value``."""
-        if self.triggered:
+        if self._value is not PENDING:
             raise SimulationError(f"{self!r} already triggered")
         self._value = value
-        self.env._schedule(self, NORMAL, 0.0)
+        env = self.env
+        env._seq = seq = env._seq + 1
+        heappush(env._heap, (env._now, NORMAL, seq, self))
         return self
 
     def fail(self, exception: BaseException) -> "Event":
@@ -103,41 +117,73 @@ class Event:
         A process waiting on the event will have ``exception`` raised at
         its ``yield`` statement.
         """
-        if self.triggered:
+        if self._value is not PENDING:
             raise SimulationError(f"{self!r} already triggered")
         if not isinstance(exception, BaseException):
             raise TypeError("fail() requires an exception instance")
         self._ok = False
         self._value = exception
-        self.env._schedule(self, NORMAL, 0.0)
+        env = self.env
+        env._seq = seq = env._seq + 1
+        heappush(env._heap, (env._now, NORMAL, seq, self))
         return self
 
+    def _abandon(self) -> None:
+        """Hook: the last observer detached (e.g. its process was
+        interrupted).  Subclasses tied to a container can deregister."""
+
     def __repr__(self) -> str:
-        state = "processed" if self.processed else (
-            "triggered" if self.triggered else "pending")
+        state = "processed" if self.callbacks is None else (
+            "triggered" if self._value is not PENDING else "pending")
         return f"<{type(self).__name__} {state} at {id(self):#x}>"
 
 
 class Timeout(Event):
-    """An event that fires after a fixed simulated delay."""
+    """An event that fires after a fixed simulated delay.
+
+    A timeout is *pending* until the delay elapses: it reports
+    ``triggered == False`` while scheduled, and its value only becomes
+    readable once the clock reaches it (the run loop installs the value
+    at fire time).  It cannot be triggered by hand — the clock owns it.
+    """
+
+    __slots__ = ("delay", "_pending_value")
 
     def __init__(self, env: "Environment", delay: float, value: Any = None):
         if delay < 0:
             raise ValueError(f"negative delay {delay}")
-        super().__init__(env)
-        self._value = value
+        self.env = env
+        self.callbacks = []
+        self._value = PENDING
+        self._ok = True
+        self._defused = False
+        self._pending_value = value
         self.delay = delay
-        env._schedule(self, NORMAL, delay)
+        env._seq = seq = env._seq + 1
+        heappush(env._heap, (env._now + delay, NORMAL, seq, self))
+
+    def succeed(self, value: Any = None) -> "Event":
+        raise SimulationError(
+            "a Timeout fires by the clock and cannot be triggered manually")
+
+    def fail(self, exception: BaseException) -> "Event":
+        raise SimulationError(
+            "a Timeout fires by the clock and cannot be failed manually")
 
 
 class Initialize(Event):
     """Immediate event used to start a freshly created process."""
 
+    __slots__ = ()
+
     def __init__(self, env: "Environment", process: "Process"):
-        super().__init__(env)
+        self.env = env
+        self.callbacks = [process._resume]
         self._value = None
-        self.callbacks.append(process._resume)
-        env._schedule(self, URGENT, 0.0)
+        self._ok = True
+        self._defused = False
+        env._seq = seq = env._seq + 1
+        heappush(env._heap, (env._now, URGENT, seq, self))
 
 
 class Process(Event):
@@ -148,17 +194,23 @@ class Process(Event):
     process waiting on it, or aborting the simulation if unhandled).
     """
 
+    __slots__ = ("_generator", "_target")
+
     def __init__(self, env: "Environment", generator: Generator):
         if not hasattr(generator, "throw"):
             raise TypeError(f"{generator!r} is not a generator")
-        super().__init__(env)
+        self.env = env
+        self.callbacks = []
+        self._value = PENDING
+        self._ok = True
+        self._defused = False
         self._generator = generator
         self._target: Optional[Event] = None
         Initialize(env, self)
 
     @property
     def is_alive(self) -> bool:
-        return not self.triggered
+        return self._value is PENDING
 
     @property
     def target(self) -> Optional[Event]:
@@ -167,7 +219,7 @@ class Process(Event):
 
     def interrupt(self, cause: Any = None) -> None:
         """Throw :class:`Interrupt` into the process as soon as possible."""
-        if not self.is_alive:
+        if self._value is not PENDING:
             raise SimulationError("cannot interrupt a dead process")
         if self is self.env.active_process:
             raise SimulationError("a process cannot interrupt itself")
@@ -180,57 +232,69 @@ class Process(Event):
         # trigger of that event does not resume the interrupted frame.
         # Mark the abandoned event defused: if it fails after losing its
         # only observer, that is not an unhandled error.
-        if self._target is not None and self._target.callbacks is not None:
+        target = self._target
+        if target is not None and target.callbacks is not None:
             try:
-                self._target.callbacks.remove(self._resume)
+                target.callbacks.remove(self._resume)
             except ValueError:
                 pass
-            if not self._target.callbacks:
-                self._target._defused = True
+            if not target.callbacks:
+                target._defused = True
+                # Eagerly deregister events that live in a container
+                # (e.g. queue getters): chaos campaigns interrupt
+                # blocked consumers in tight loops, and stale entries
+                # would otherwise accumulate until the next put.
+                target._abandon()
         self._target = None
 
     def _resume(self, event: Event) -> None:
-        if self.triggered:
+        if self._value is not PENDING:
             return  # already terminated (e.g. raced interrupt)
-        self.env._active_process = self
+        env = self.env
+        generator = self._generator
+        env._active_process = self
         while True:
             try:
                 if event._ok:
-                    next_event = self._generator.send(event._value)
+                    next_event = generator.send(event._value)
                 else:
                     exc = event._value
                     if isinstance(exc, Interrupt):
                         # re-wrap so each delivery is a distinct instance
                         exc = Interrupt(exc.cause)
-                    next_event = self._generator.throw(exc)
+                    next_event = generator.throw(exc)
             except StopIteration as stop:
                 self._target = None
                 self._value = stop.value
-                self.env._schedule(self, NORMAL, 0.0)
+                env._seq = seq = env._seq + 1
+                heappush(env._heap, (env._now, NORMAL, seq, self))
                 break
             except BaseException as error:  # generator died
                 self._target = None
                 self._ok = False
                 self._value = error
-                self.env._schedule(self, NORMAL, 0.0)
+                env._seq = seq = env._seq + 1
+                heappush(env._heap, (env._now, NORMAL, seq, self))
                 break
 
-            if not isinstance(next_event, Event):
-                event = Event(self.env)
+            if type(next_event) is not Event and \
+                    not isinstance(next_event, Event):
+                event = Event(env)
                 event._ok = False
                 event._value = TypeError(
                     f"process yielded non-event {next_event!r}")
                 continue
-            if next_event.env is not self.env:
+            if next_event.env is not env:
                 raise SimulationError("event from a different environment")
-            if next_event.callbacks is not None:
+            callbacks = next_event.callbacks
+            if callbacks is not None:
                 # not yet processed: wait for it
-                next_event.callbacks.append(self._resume)
+                callbacks.append(self._resume)
                 self._target = next_event
                 break
             # already processed: feed its value back immediately
             event = next_event
-        self.env._active_process = None
+        env._active_process = None
 
 
 class Condition(Event):
@@ -239,6 +303,8 @@ class Condition(Event):
     Used via :meth:`Environment.any_of` / :meth:`Environment.all_of`.  The
     value is a dict mapping each triggered event to its value.
     """
+
+    __slots__ = ("_events", "_need", "_done")
 
     def __init__(self, env: "Environment", events: Iterable[Event],
                  count: int) -> None:
@@ -256,7 +322,7 @@ class Condition(Event):
                 event.callbacks.append(self._check)
 
     def _check(self, event: Event) -> None:
-        if self.triggered:
+        if self._value is not PENDING:
             return
         if not event._ok:
             self.fail(event._value)
@@ -266,12 +332,28 @@ class Condition(Event):
             self.succeed({
                 ev: ev._value
                 for ev in self._events
-                if ev.processed and ev._ok
+                if ev.callbacks is None and ev._ok
             })
 
 
 class QueueFull(SimulationError):
     """Raised by :meth:`Queue.put_nowait` when a bounded queue is full."""
+
+
+class QueueGet(Event):
+    """A blocked ``get``: knows its queue so an interrupt can prune it."""
+
+    __slots__ = ("_queue",)
+
+    def __init__(self, env: "Environment", queue: "Queue") -> None:
+        super().__init__(env)
+        self._queue = queue
+
+    def _abandon(self) -> None:
+        try:
+            self._queue._getters.remove(self)
+        except ValueError:
+            pass
 
 
 class Queue:
@@ -281,15 +363,25 @@ class Queue:
     distiller's request queue, a front end's accept queue, the manager's
     report inbox.  Queue length is the paper's load metric (Section 4.5),
     so :attr:`length` is cheap and always current.
+
+    Items and blocked getters live in :class:`collections.deque`\\ s, so
+    every queue operation is O(1) no matter how deep the backlog — a
+    saturated worker queue holding tens of thousands of requests costs
+    the same per hand-off as an empty one.  Getters whose process was
+    interrupted are pruned eagerly by the kernel (via
+    :meth:`QueueGet._abandon`) and skipped lazily on delivery as a
+    backstop, so ``_getters`` stays bounded under chaos kill loops.
     """
+
+    __slots__ = ("env", "capacity", "_items", "_getters")
 
     def __init__(self, env: Environment, capacity: Optional[int] = None):
         if capacity is not None and capacity <= 0:
             raise ValueError("capacity must be positive or None")
         self.env = env
         self.capacity = capacity
-        self._items: List[Any] = []
-        self._getters: List[Event] = []
+        self._items: deque = deque()
+        self._getters: deque = deque()
 
     @property
     def length(self) -> int:
@@ -304,19 +396,21 @@ class Queue:
 
     def put_nowait(self, item: Any) -> None:
         """Enqueue ``item``; raise :class:`QueueFull` if at capacity."""
-        if self.is_full:
+        items = self._items
+        if self.capacity is not None and len(items) >= self.capacity:
             raise QueueFull(f"queue at capacity {self.capacity}")
         # hand directly to a waiting getter if any
-        while self._getters:
-            getter = self._getters.pop(0)
-            if getter.triggered or not getter.callbacks:
+        getters = self._getters
+        while getters:
+            getter = getters.popleft()
+            if getter._value is not PENDING or not getter.callbacks:
                 # Getter already resolved, or its process was interrupted
                 # (the kernel detaches the resume callback on interrupt):
                 # delivering here would lose the item.
                 continue
             getter.succeed(item)
             return
-        self._items.append(item)
+        items.append(item)
 
     def try_put(self, item: Any) -> bool:
         """Enqueue ``item`` unless full; return whether it was accepted."""
@@ -328,22 +422,25 @@ class Queue:
 
     def get(self) -> Event:
         """Return an event that fires with the next item (FIFO)."""
-        event = Event(self.env)
-        if self._items:
-            event.succeed(self._items.pop(0))
-        else:
-            self._getters.append(event)
+        items = self._items
+        if items:
+            event = Event(self.env)
+            event.succeed(items.popleft())
+            return event
+        event = QueueGet(self.env, self)
+        self._getters.append(event)
         return event
 
     def get_nowait(self) -> Any:
         """Dequeue immediately; raise :class:`SimulationError` if empty."""
         if not self._items:
             raise SimulationError("queue is empty")
-        return self._items.pop(0)
+        return self._items.popleft()
 
     def clear(self) -> List[Any]:
         """Drop and return all queued items (used when a worker crashes)."""
-        items, self._items = self._items, []
+        items = list(self._items)
+        self._items.clear()
         return items
 
 
@@ -392,9 +489,27 @@ class Environment:
     # -- scheduling and execution ------------------------------------------
 
     def _schedule(self, event: Event, priority: int, delay: float) -> None:
-        self._seq += 1
-        heapq.heappush(
-            self._heap, (self._now + delay, priority, self._seq, event))
+        self._seq = seq = self._seq + 1
+        heappush(self._heap, (self._now + delay, priority, seq, event))
+
+    def schedule_call(self, delay: float,
+                      callback: Callable[[Event], None],
+                      value: Any = None) -> Event:
+        """Schedule ``callback(event)`` to run after ``delay``.
+
+        The cheap alternative to spawning a whole process for a one-shot
+        action (e.g. delivering a message after a network delay): one
+        event and one heap entry instead of a process, its initializer,
+        and a timeout.  The event fires successfully with ``value``.
+        """
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        event = Event(self)
+        event._value = value
+        event.callbacks.append(callback)
+        self._seq = seq = self._seq + 1
+        heappush(self._heap, (self._now + delay, NORMAL, seq, event))
+        return event
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
@@ -404,12 +519,14 @@ class Environment:
         """Process the single next event."""
         if not self._heap:
             raise SimulationError("no more events")
-        self._now, _, _, event = heapq.heappop(self._heap)
+        self._now, _, _, event = heappop(self._heap)
+        if event._value is PENDING:
+            # a Timeout firing: its value becomes readable now
+            event._value = event._pending_value
         callbacks, event.callbacks = event.callbacks, None
         for callback in callbacks:
             callback(event)
-        if not event._ok and not callbacks and \
-                not getattr(event, "_defused", False):
+        if not event._ok and not callbacks and not event._defused:
             # A failed event nobody was waiting on: a process died with an
             # unhandled exception.  Surface it rather than losing it.
             raise event._value
@@ -417,11 +534,15 @@ class Environment:
     def run(self, until: Any = None) -> Any:
         """Run until ``until`` (a time, an event, or exhaustion).
 
-        Returns the event's value when ``until`` is an event.
+        Returns the event's value when ``until`` is an event; raises the
+        event's exception if it failed (whether it fails during this run
+        or had already failed before the call).
         """
         stop_at = float("inf")
         if isinstance(until, Event):
             if until.callbacks is None:
+                if not until._ok:
+                    raise until._value
                 return until._value
 
             def _stop(event: Event) -> None:
@@ -433,9 +554,21 @@ class Environment:
             if stop_at < self._now:
                 raise ValueError(f"until={stop_at} is in the past")
 
+        # The hot loop: identical semantics to step(), inlined so a
+        # million-event run pays no per-event method dispatch.
+        heap = self._heap
+        pop = heappop
         try:
-            while self._heap and self._heap[0][0] <= stop_at:
-                self.step()
+            while heap and heap[0][0] <= stop_at:
+                self._now, _, _, event = pop(heap)
+                if event._value is PENDING:
+                    event._value = event._pending_value
+                callbacks = event.callbacks
+                event.callbacks = None
+                for callback in callbacks:
+                    callback(event)
+                if not event._ok and not callbacks and not event._defused:
+                    raise event._value
         except StopSimulation as stop:
             event = stop.args[0]
             if not event._ok:

@@ -106,12 +106,13 @@ class MulticastGroup:
             for _ in range(copies):
                 delay = self.network.transfer_delay(
                     size_bytes, control=True) + extra_delay
-                self.env.process(
-                    self._deliver(subscription, message, delay))
+                # one scheduled callback per copy, not a delivery process:
+                # beacons and load reports dominate control-plane events
+                self.env.schedule_call(
+                    delay, self._deliver, (subscription, message))
 
-    def _deliver(self, subscription: Subscription, message: Any,
-                 delay: float):
-        yield self.env.timeout(delay)
+    def _deliver(self, event) -> None:
+        subscription, message = event._value
         if not subscription.active:
             return
         if not subscription.queue.try_put(message):

@@ -204,19 +204,23 @@ class UtilizationMeter:
         self.env = env
         self.window = window
         self.bucket_width = window / buckets
+        self._span = int(window / self.bucket_width)
         self._buckets: Deque[Tuple[int, float]] = deque()  # (bucket_id, bytes)
 
     def record(self, nbytes: float) -> None:
-        bucket_id = int(self.env.now / self.bucket_width)
-        if self._buckets and self._buckets[-1][0] == bucket_id:
-            last_id, last_bytes = self._buckets[-1]
-            self._buckets[-1] = (last_id, last_bytes + nbytes)
+        # hot path: one call per message on every link
+        bucket_id = int(self.env._now / self.bucket_width)
+        buckets = self._buckets
+        if buckets and buckets[-1][0] == bucket_id:
+            buckets[-1] = (bucket_id, buckets[-1][1] + nbytes)
         else:
-            self._buckets.append((bucket_id, nbytes))
-        self._expire(bucket_id)
+            buckets.append((bucket_id, nbytes))
+        horizon = bucket_id - self._span
+        while buckets and buckets[0][0] < horizon:
+            buckets.popleft()
 
     def _expire(self, current_bucket: int) -> None:
-        horizon = current_bucket - int(self.window / self.bucket_width)
+        horizon = current_bucket - self._span
         while self._buckets and self._buckets[0][0] < horizon:
             self._buckets.popleft()
 
@@ -259,8 +263,9 @@ class Link:
         """
         if size_bytes < 0:
             raise ValueError("size must be non-negative")
-        now = self.env.now
-        start = max(now, self._busy_until)
+        now = self.env._now
+        busy_until = self._busy_until
+        start = busy_until if busy_until > now else now
         transmission = size_bytes / self.bandwidth_bps
         self._busy_until = start + transmission
         self.bytes_sent += size_bytes

@@ -13,9 +13,10 @@ Section 3.1.3); the other is timeouts, which callers implement with
 
 from __future__ import annotations
 
-from typing import Any, List, Optional, Tuple
+from collections import deque
+from typing import Any, Deque, Optional, Tuple
 
-from repro.sim.kernel import Environment, Event, Queue
+from repro.sim.kernel import PENDING, Environment, Event, Queue
 from repro.sim.network import Network
 
 #: Default connection setup + teardown cost, from the Harvest measurement
@@ -35,7 +36,7 @@ class Endpoint:
         self.channel = channel
         self.name = name
         self._inbox: Queue = channel.env.queue()
-        self._waiters: List[Event] = []
+        self._waiters: Deque[Event] = deque()
         self.peer: Optional["Endpoint"] = None  # set by Channel
         # earliest time the next message may arrive: keeps the stream
         # FIFO even when the fault model jitters individual deliveries
@@ -60,17 +61,21 @@ class Endpoint:
             arrival = max(now + delay, self._next_arrival_at)
             self._next_arrival_at = arrival
             delay = arrival - now
-        self.channel.env.process(self._deliver(message, delay))
+        # One scheduled callback per message instead of a whole delivery
+        # process (initializer + timeout + process event): channel traffic
+        # is a large share of all kernel events in a cluster run.
+        self.channel.env.schedule_call(delay, self._deliver, message)
 
-    def _deliver(self, message: Any, delay: float):
-        yield self.channel.env.timeout(delay)
+    def _deliver(self, event: Event) -> None:
         if not self.channel.open:
             return  # lost in flight when the connection broke
+        message = event._value
         peer = self.peer
         assert peer is not None
-        while peer._waiters:
-            waiter = peer._waiters.pop(0)
-            if waiter.triggered or not waiter.callbacks:
+        waiters = peer._waiters
+        while waiters:
+            waiter = waiters.popleft()
+            if waiter._value is not PENDING or not waiter.callbacks:
                 continue
             waiter.succeed(message)
             return

@@ -10,23 +10,65 @@ The engine is a simulation component: it submits each request to a
 fires with a response object — and records per-request outcomes for the
 analysis layer.  Three modes:
 
-* :meth:`PlaybackEngine.play` — faithful timestamps;
+* :meth:`PlaybackEngine.play` — faithful timestamps; accepts any
+  iterable of records, so a streaming trace source (a generator, or
+  :func:`~repro.workload.trace.iter_trace` over a file) replays without
+  ever materializing the full trace;
 * :meth:`PlaybackEngine.constant_rate` — Poisson arrivals at a fixed rate;
 * :meth:`PlaybackEngine.ramp` — a piecewise-constant rate schedule, used
   by the Figure 8 self-tuning and Table 2 scalability experiments to
   sweep offered load upward during a single run.
+
+For million-request replays, construct the engine with
+``record_outcomes=False``: per-request :class:`RequestOutcome` objects
+are skipped and only the O(1) :class:`PlaybackStats` aggregate is kept,
+so memory stays bounded regardless of trace length.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Iterable, List, Optional, Sequence, Tuple
 
 from repro.sim.kernel import Environment, Event, Interrupt
 from repro.sim.rng import Stream
 from repro.workload.trace import TraceRecord
 
 SubmitFn = Callable[[TraceRecord], Event]
+
+
+@dataclass
+class PlaybackStats:
+    """O(1) streaming aggregate over all playback requests.
+
+    Always maintained, whether or not per-request outcomes are recorded
+    — it is the only record-keeping that survives a bounded-memory
+    million-request replay.
+    """
+
+    submitted: int = 0
+    completed: int = 0
+    failed: int = 0
+    latency_sum: float = 0.0
+    latency_min: float = float("inf")
+    latency_max: float = 0.0
+
+    def observe_success(self, latency: float) -> None:
+        self.completed += 1
+        self.latency_sum += latency
+        if latency < self.latency_min:
+            self.latency_min = latency
+        if latency > self.latency_max:
+            self.latency_max = latency
+
+    def observe_failure(self) -> None:
+        self.failed += 1
+
+    @property
+    def mean_latency(self) -> Optional[float]:
+        if not self.completed:
+            return None
+        return self.latency_sum / self.completed
 
 
 @dataclass
@@ -54,26 +96,39 @@ class PlaybackEngine:
 
     def __init__(self, env: Environment, submit: SubmitFn,
                  rng: Optional[Stream] = None,
-                 timeout_s: Optional[float] = None) -> None:
+                 timeout_s: Optional[float] = None,
+                 record_outcomes: bool = True) -> None:
         self.env = env
         self.submit = submit
         self.rng = rng
         self.timeout_s = timeout_s
+        #: False = bounded-memory mode: keep only :attr:`stats`, never
+        #: append to :attr:`outcomes` (which stays empty).
+        self.record_outcomes = record_outcomes
         self.outcomes: List[RequestOutcome] = []
+        self.stats = PlaybackStats()
         self.in_flight = 0
         self.max_in_flight = 0
 
     # -- modes ----------------------------------------------------------------
 
-    def play(self, records: Sequence[TraceRecord],
+    def play(self, records: Iterable[TraceRecord],
              time_offset: float = 0.0):
-        """Process generator: faithful playback by trace timestamps."""
-        origin = records[0].timestamp if records else 0.0
+        """Process generator: faithful playback by trace timestamps.
+
+        ``records`` may be any iterable — a list, a generator, or a
+        streaming file reader — and is consumed one record at a time;
+        the first record's timestamp anchors the trace's time origin.
+        """
+        env = self.env
+        origin = None
         for record in records:
+            if origin is None:
+                origin = record.timestamp
             due = time_offset + (record.timestamp - origin)
-            wait = due - self.env.now
+            wait = due - env.now
             if wait > 0:
-                yield self.env.timeout(wait)
+                yield env.timeout(wait)
             self._launch(record)
 
     def constant_rate(self, rate_rps: float, duration_s: float,
@@ -125,8 +180,10 @@ class PlaybackEngine:
 
     def _request(self, record: TraceRecord):
         started = self.env.now
+        self.stats.submitted += 1
         self.in_flight += 1
-        self.max_in_flight = max(self.max_in_flight, self.in_flight)
+        if self.in_flight > self.max_in_flight:
+            self.max_in_flight = self.in_flight
         tracer = self.env.tracer
         root = None
         if tracer is not None:
@@ -154,10 +211,12 @@ class PlaybackEngine:
                 if response_event not in condition:
                     if root is not None:
                         root.annotate(outcome="timeout")
-                    self.outcomes.append(RequestOutcome(
-                        record=record, submitted_at=started,
-                        completed_at=None, ok=False, error="timeout",
-                        trace_id=trace_id))
+                    self.stats.observe_failure()
+                    if self.record_outcomes:
+                        self.outcomes.append(RequestOutcome(
+                            record=record, submitted_at=started,
+                            completed_at=None, ok=False, error="timeout",
+                            trace_id=trace_id))
                     return
                 response = condition[response_event]
             else:
@@ -165,19 +224,23 @@ class PlaybackEngine:
             if root is not None:
                 root.annotate(
                     outcome=getattr(response, "status", "ok"))
-            self.outcomes.append(RequestOutcome(
-                record=record, submitted_at=started,
-                completed_at=self.env.now, ok=True, response=response,
-                trace_id=trace_id))
+            self.stats.observe_success(self.env.now - started)
+            if self.record_outcomes:
+                self.outcomes.append(RequestOutcome(
+                    record=record, submitted_at=started,
+                    completed_at=self.env.now, ok=True, response=response,
+                    trace_id=trace_id))
         except Interrupt:
             raise
         except Exception as error:  # adapter-level failure
             if root is not None:
                 root.annotate(outcome=f"error:{type(error).__name__}")
-            self.outcomes.append(RequestOutcome(
-                record=record, submitted_at=started, completed_at=None,
-                ok=False, error=f"{type(error).__name__}: {error}",
-                trace_id=trace_id))
+            self.stats.observe_failure()
+            if self.record_outcomes:
+                self.outcomes.append(RequestOutcome(
+                    record=record, submitted_at=started, completed_at=None,
+                    ok=False, error=f"{type(error).__name__}: {error}",
+                    trace_id=trace_id))
         finally:
             if root is not None:
                 root.finish()

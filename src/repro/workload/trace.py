@@ -56,14 +56,23 @@ def save_trace(records: Iterable[TraceRecord], path: str) -> int:
     return count
 
 
-def load_trace(path: str) -> List[TraceRecord]:
-    """Read a trace file written by :func:`save_trace`."""
-    records = []
+def iter_trace(path: str) -> Iterator[TraceRecord]:
+    """Stream records from a trace file written by :func:`save_trace`.
+
+    Reads one line at a time, so a multi-million-request trace replays
+    with bounded memory — feed the iterator straight to
+    :meth:`~repro.workload.playback.PlaybackEngine.play`.
+    """
     with open(path, "r", encoding="utf-8") as handle:
         for line in handle:
             if line.strip():
-                records.append(TraceRecord.from_line(line))
-    return records
+                yield TraceRecord.from_line(line)
+
+
+def load_trace(path: str) -> List[TraceRecord]:
+    """Read a whole trace file into memory (see :func:`iter_trace` for
+    the streaming variant)."""
+    return list(iter_trace(path))
 
 
 def iter_window(records: List[TraceRecord], start: float,

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.sim.rng import RandomStreams, Stream
 from repro.tacc.content import MIME_JPEG
@@ -205,10 +205,19 @@ class TraceGenerator:
         rank = self.rng.zipf_rank(self.n_users, 0.8)
         return f"client{rank}"
 
-    def generate(self, duration_s: float,
-                 start_s: float = 0.0) -> List[TraceRecord]:
-        """Trace covering [start_s, start_s + duration_s)."""
-        records: List[TraceRecord] = []
+    def iter_generate(self, duration_s: float,
+                      start_s: float = 0.0) -> Iterator[TraceRecord]:
+        """Stream the trace for [start_s, start_s + duration_s).
+
+        Records are produced one one-second slice at a time — the
+        non-homogeneous process's natural chunk — and each slice is
+        sorted before it is yielded.  Slices cover disjoint half-open
+        intervals, so the concatenation is globally timestamp-sorted and
+        identical (same RNG draws, same order) to :meth:`generate`,
+        while only one slice is ever materialized.  This is what lets a
+        multi-hour, multi-million-request workload feed the playback
+        engine with bounded memory.
+        """
         step = 1.0  # one-second slices for the non-homogeneous process
         t = start_s
         end = start_s + duration_s
@@ -216,20 +225,60 @@ class TraceGenerator:
             slice_end = min(t + step, end)
             width = slice_end - t
             count = self._poisson(self.rate_at(t) * width)
-            for _ in range(count):
-                timestamp = t + self.rng.random() * width
-                client_id = self._pick_client()
-                document = self.universe.sample_document(client_id)
-                records.append(TraceRecord(
-                    timestamp=timestamp,
-                    client_id=client_id,
-                    url=document.url,
-                    mime=document.mime,
-                    size_bytes=document.size_bytes,
-                ))
+            if count:
+                chunk: List[TraceRecord] = []
+                for _ in range(count):
+                    timestamp = t + self.rng.random() * width
+                    client_id = self._pick_client()
+                    document = self.universe.sample_document(client_id)
+                    chunk.append(TraceRecord(
+                        timestamp=timestamp,
+                        client_id=client_id,
+                        url=document.url,
+                        mime=document.mime,
+                        size_bytes=document.size_bytes,
+                    ))
+                chunk.sort(key=lambda record: record.timestamp)
+                yield from chunk
             t = slice_end
-        records.sort(key=lambda record: record.timestamp)
-        return records
+
+    def generate(self, duration_s: float,
+                 start_s: float = 0.0) -> List[TraceRecord]:
+        """Trace covering [start_s, start_s + duration_s), in memory."""
+        return list(self.iter_generate(duration_s, start_s=start_s))
+
+
+def iter_fixed_jpeg_trace(
+    rate_rps: float,
+    n_requests: int,
+    n_images: int = 50,
+    image_size_bytes: int = 10240,
+    seed: int = 1997,
+    n_clients: int = 100,
+) -> Iterator[TraceRecord]:
+    """Stream exactly ``n_requests`` of the Section 4.6 fixed-JPEG
+    workload (Poisson arrivals at ``rate_rps``), one record at a time.
+
+    The count-bounded streaming twin of :func:`fixed_jpeg_trace`: a
+    20-million-request replay in the paper's style needs no more memory
+    than a single :class:`TraceRecord`.  Deterministic in ``seed``.
+    """
+    if rate_rps <= 0:
+        raise ValueError("rate must be positive")
+    if n_requests < 0:
+        raise ValueError("n_requests must be non-negative")
+    rng = RandomStreams(seed).stream("fixed-jpeg")
+    mean_gap = 1.0 / rate_rps
+    t = 0.0
+    for index in range(n_requests):
+        t += rng.exponential(mean_gap)
+        yield TraceRecord(
+            timestamp=t,
+            client_id=f"client{index % n_clients}",
+            url=f"http://bench.example/img{index % n_images}.jpg",
+            mime=MIME_JPEG,
+            size_bytes=image_size_bytes,
+        )
 
 
 def fixed_jpeg_trace(
