@@ -20,14 +20,20 @@ from repro.chaos.campaign import (
     CAMPAIGNS,
     Campaign,
     CampaignRunner,
+    CorruptOutput,
     CrashWorkerNode,
+    FailSlowWorker,
+    GrayWorkerFault,
+    HangWorker,
     KillFrontEnd,
     KillManager,
     KillWorker,
+    LeakWorker,
     LossyWindow,
     PartitionWorker,
     RollingKills,
     Straggle,
+    ZombieWorker,
     get_campaign,
     run_campaign,
 )
@@ -39,16 +45,22 @@ __all__ = [
     "Campaign",
     "CampaignRunner",
     "ChaosReport",
+    "CorruptOutput",
     "CrashWorkerNode",
+    "FailSlowWorker",
+    "GrayWorkerFault",
+    "HangWorker",
     "InvariantChecker",
     "InvariantViolation",
     "KillFrontEnd",
     "KillManager",
     "KillWorker",
+    "LeakWorker",
     "LossyWindow",
     "PartitionWorker",
     "RollingKills",
     "Straggle",
+    "ZombieWorker",
     "get_campaign",
     "run_campaign",
 ]

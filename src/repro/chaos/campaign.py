@@ -24,6 +24,8 @@ from repro.chaos.report import ChaosReport, build_report
 from repro.core.config import SNSConfig
 from repro.core.messages import BEACON_GROUP
 from repro.experiments._harness import build_bench_fabric
+from repro.recovery.ledger import RecoveryLedger
+from repro.recovery.policy import RecoveryPolicy
 from repro.sim.failures import FaultInjector, FaultRecord
 from repro.sim.network import ANY_SCOPE, CHANNEL_SCOPE
 from repro.sim.rng import RandomStreams
@@ -155,6 +157,82 @@ class RollingKills(Fault):
 
 
 @dataclass
+class GrayWorkerFault(Fault):
+    """Base for gray failures: the victim worker stays alive and keeps
+    beaconing load reports while failing at its actual job (Section 4.5's
+    operational incidents).  ``heals_at == at`` deliberately — nothing
+    in the fault heals itself; healing is the supervision layer's job
+    and is measured by the recovery ledger, not assumed by the schedule.
+
+    ``victim`` indexes into the gray-healthy live workers (sorted by
+    name) at fire time, so one campaign can hit distinct workers.
+    """
+
+    victim: int = 0
+    kind = "gray"
+
+    def apply(self, stub: Any, now: float) -> None:
+        raise NotImplementedError
+
+
+@dataclass
+class FailSlowWorker(GrayWorkerFault):
+    """Inflate one worker's service time by ``factor`` (a sick disk,
+    a misbehaving process) without killing it."""
+
+    factor: float = 6.0
+    kind = "fail-slow"
+
+    def apply(self, stub: Any, now: float) -> None:
+        stub.gray.fail_slow(self.factor, now)
+
+
+@dataclass
+class HangWorker(GrayWorkerFault):
+    """The worker accepts its next request and never replies; the queue
+    backs up behind it ("the RPC call to the distiller times out")."""
+
+    kind = "hang"
+
+    def apply(self, stub: Any, now: float) -> None:
+        stub.gray.hang(now)
+
+
+@dataclass
+class ZombieWorker(GrayWorkerFault):
+    """The worker keeps beaconing load reports but silently drops every
+    submitted request — the balancer *prefers* its empty queue."""
+
+    kind = "zombie"
+
+    def apply(self, stub: Any, now: float) -> None:
+        stub.gray.zombify(now)
+
+
+@dataclass
+class LeakWorker(GrayWorkerFault):
+    """Monotonically degrading service rate — the Section 4.5
+    memory-leak distiller 'cured' by periodic restarts."""
+
+    rate_per_s: float = 0.5
+    kind = "leak"
+
+    def apply(self, stub: Any, now: float) -> None:
+        stub.gray.leak(self.rate_per_s, now)
+
+
+@dataclass
+class CorruptOutput(GrayWorkerFault):
+    """Requests complete on time but the output bytes fail end-to-end
+    validation."""
+
+    kind = "corrupt-output"
+
+    def apply(self, stub: Any, now: float) -> None:
+        stub.gray.corrupt_output(now)
+
+
+@dataclass
 class Campaign:
     """A named, reproducible chaos scenario."""
 
@@ -175,6 +253,10 @@ class Campaign:
     slo_latency_s: Optional[float] = None
     settle_s: float = 8.0
     config_overrides: Dict[str, Any] = field(default_factory=dict)
+    #: enable the self-healing supervision layer (repro.recovery) with
+    #: this policy.  None (the default) runs without a supervisor, as
+    #: all the clean-fault campaigns do.
+    recovery: Optional[RecoveryPolicy] = None
 
     @property
     def final_heal_s(self) -> float:
@@ -238,6 +320,8 @@ class CampaignRunner:
             self.env, self.checker.checked_submit(self.fabric.submit),
             rng=RandomStreams(seed).stream("chaos:playback"),
             timeout_s=campaign.client_timeout_s)
+        self.ledger = RecoveryLedger(self.env)
+        self.supervisor: Optional[Any] = None
         self._straggled: List[Any] = []
 
     # -- target selection (resolved at fire time: populations churn) -----
@@ -313,6 +397,19 @@ class CampaignRunner:
                     self._at(self.env.now + action.duration_s,
                              node.recover_speed)
             self._at(action.at, straggle)
+        elif isinstance(action, GrayWorkerFault):
+            def inject_gray(action=action):
+                candidates = [stub for stub in self._alive_workers()
+                              if not stub.gray.is_gray]
+                if not candidates:
+                    return
+                stub = candidates[action.victim % len(candidates)]
+                now = self.env.now
+                action.apply(stub, now)
+                self.injector.log.append(
+                    FaultRecord(now, action.kind, stub.name))
+                self.ledger.inject(action.kind, stub.name)
+            self._at(action.at, inject_gray)
         elif isinstance(action, RollingKills):
             self.injector.rolling_kills(
                 self._alive_workers, start=action.at,
@@ -328,6 +425,9 @@ class CampaignRunner:
         self.fabric.boot(
             n_frontends=campaign.n_frontends,
             initial_workers={WORKER_TYPE: campaign.initial_workers})
+        if campaign.recovery is not None:
+            self.supervisor = self.fabric.start_supervisor(
+                campaign.recovery, ledger=self.ledger)
         self.cluster.run(until=2.0)
 
         pool = [
@@ -358,7 +458,8 @@ class CampaignRunner:
         return build_report(
             campaign=campaign, seed=self.seed, fabric=self.fabric,
             engine=self.engine, checker=self.checker,
-            injector=self.injector, faults=self.faults)
+            injector=self.injector, faults=self.faults,
+            ledger=self.ledger, supervisor=self.supervisor)
 
 
 def run_campaign(campaign: Campaign, seed: int = 1997) -> ChaosReport:
@@ -475,6 +576,53 @@ def _crash_restart() -> Campaign:
     )
 
 
+def _gray_failures() -> Campaign:
+    """The robustness acceptance scenario: every gray-failure mode
+    injected into a supervised fabric, all of them detected and healed
+    without human intervention."""
+    return Campaign(
+        name="gray-failures",
+        description="fail-slow + hang + zombie + leak + corrupt-output "
+                    "under self-healing supervision (probes, "
+                    "RPC-timeout kills, load-outlier detection)",
+        duration_s=110.0,
+        actions=[
+            HangWorker(at=10.0, victim=0),
+            ZombieWorker(at=25.0, victim=1),
+            FailSlowWorker(at=40.0, victim=0, factor=6.0),
+            LeakWorker(at=55.0, victim=1, rate_per_s=0.5),
+            CorruptOutput(at=70.0, victim=0),
+        ],
+        rate_rps=15.0,
+        n_nodes=12,
+        n_frontends=2,
+        initial_workers=3,
+        settle_s=25.0,
+        recovery=RecoveryPolicy(),
+    )
+
+
+def _gray_smoke() -> Campaign:
+    """Reduced-duration gray-failure campaign for the CI gate."""
+    return Campaign(
+        name="gray-smoke",
+        description="hang + zombie + fail-slow under supervision "
+                    "(reduced duration; the CI gate)",
+        duration_s=60.0,
+        actions=[
+            HangWorker(at=8.0),
+            ZombieWorker(at=20.0),
+            FailSlowWorker(at=32.0, factor=6.0),
+        ],
+        rate_rps=12.0,
+        n_nodes=10,
+        n_frontends=2,
+        initial_workers=3,
+        settle_s=20.0,
+        recovery=RecoveryPolicy(),
+    )
+
+
 #: name -> zero-argument factory returning a fresh Campaign.
 CAMPAIGNS: Dict[str, Callable[[], Campaign]] = {
     "smoke": _smoke,
@@ -484,6 +632,8 @@ CAMPAIGNS: Dict[str, Callable[[], Campaign]] = {
     "stragglers": _stragglers,
     "duplication": _duplication,
     "crash-restart": _crash_restart,
+    "gray-failures": _gray_failures,
+    "gray-smoke": _gray_smoke,
 }
 
 

@@ -45,6 +45,10 @@ class ChaosReport:
     spawn_failures: List[Any] = field(default_factory=list)
     #: completed-request latency percentiles (LatencyStats.summary()).
     latency: Dict[str, float] = field(default_factory=dict)
+    #: per-fault gray-failure cases (repro.recovery FaultCase objects).
+    recovery_cases: List[Any] = field(default_factory=list)
+    #: RecoveryLedger.summary() numbers: MTTD/MTTR, availability...
+    recovery_summary: Dict[str, Any] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -81,9 +85,30 @@ class ChaosReport:
             return None
         return self.recovery_s / self.beacon_interval_s
 
+    @property
+    def all_gray_healed(self) -> bool:
+        """Every injected gray failure was detected AND healed."""
+        return all(case.healed for case in self.recovery_cases)
+
     def min_yield(self) -> float:
         return min((row["yield"] for row in self.series
                     if row["submitted"]), default=1.0)
+
+    def _recovery_case_lines(self) -> List[str]:
+        lines = []
+        for case in self.recovery_cases:
+            detect = (f"detected +{case.mttd:.1f}s ({case.detector})"
+                      if case.mttd is not None else "NOT DETECTED")
+            if case.mttr is not None:
+                heal = f"healed +{case.mttr:.1f}s"
+                if case.replacement:
+                    heal += f" -> {case.replacement}"
+            else:
+                heal = "NOT HEALED"
+            lines.append(f"{case.kind:<15} {case.target:<20} "
+                         f"@{case.injected_at:5.1f}s  {detect:<28} "
+                         f"{heal}")
+        return lines
 
     def render(self) -> str:
         """Human-readable campaign summary."""
@@ -118,6 +143,28 @@ class ChaosReport:
             lines.append(
                 f"reregister {len(self.reregistration_times)} heal(s) "
                 f"checked, slowest re-registration {worst:.1f}s")
+        if self.recovery_cases:
+            summary = self.recovery_summary
+            parts = [f"{summary.get('healed', 0)}/"
+                     f"{summary.get('injected', 0)} healed"]
+            if summary.get("mttd_mean") is not None:
+                parts.append(f"MTTD {summary['mttd_mean']:.1f}s mean / "
+                             f"{summary['mttd_max']:.1f}s max")
+            if summary.get("mttr_mean") is not None:
+                parts.append(f"MTTR {summary['mttr_mean']:.1f}s mean / "
+                             f"{summary['mttr_max']:.1f}s max")
+            if summary.get("availability") is not None:
+                parts.append(
+                    f"availability {summary['availability']:.4f}")
+            lines.append("healing    " + ", ".join(parts))
+            for case_line in self._recovery_case_lines():
+                lines.append("           " + case_line)
+            if summary.get("false_alarms"):
+                lines.append(f"           false alarms: "
+                             f"{summary['false_alarms']}")
+            if summary.get("rejuvenations"):
+                lines.append(f"           rejuvenations: "
+                             f"{summary['rejuvenations']}")
         lines.append("faults     " + (", ".join(
             f"{record.kind} {record.target} @ {record.time:.0f}s"
             for record in self.fault_timeline) or "none recorded"))
@@ -147,8 +194,9 @@ class ChaosReport:
 
 
 def build_report(campaign: Any, seed: int, fabric: Any, engine: Any,
-                 checker: Any, injector: Any,
-                 faults: Any) -> ChaosReport:
+                 checker: Any, injector: Any, faults: Any,
+                 ledger: Any = None,
+                 supervisor: Any = None) -> ChaosReport:
     """Assemble the report from a finished campaign's pieces."""
     beacon_s = fabric.config.beacon_interval_s
     series = harvest_yield_series(engine.outcomes, bucket_s=beacon_s)
@@ -160,6 +208,7 @@ def build_report(campaign: Any, seed: int, fabric: Any, engine: Any,
         "messages_jittered": faults.messages_jittered,
         "channel_retransmits": faults.channel_retransmits,
         "manager_restarts": fabric.manager_restarts,
+        "frontend_restarts": fabric.frontend_restarts,
         "requests_shed": sum(fe.shed
                              for fe in fabric.frontends.values()),
         "dispatch_retries": sum(fe.stub.retries
@@ -174,6 +223,24 @@ def build_report(campaign: Any, seed: int, fabric: Any, engine: Any,
                            if fabric.manager is not None else 0),
     }
     manager = fabric.manager
+    if manager is not None:
+        counters["reaps"] = manager.reaps
+        counters["reap_redispatches"] = manager.reap_redispatches
+        counters["reap_drops"] = manager.reap_drops
+    if supervisor is not None:
+        counters["recovery_probes"] = supervisor.probes_sent
+        counters["recovery_suspicions"] = supervisor.suspicions
+        counters["recovery_restarts"] = supervisor.restarts
+        counters["recovery_rejuvenations"] = supervisor.rejuvenations
+        counters["quarantined_nodes"] = len(supervisor.quarantined_nodes)
+    recovery_cases: List[Any] = []
+    recovery_summary: Dict[str, Any] = {}
+    if ledger is not None and (ledger.cases or ledger.false_alarms
+                               or ledger.rejuvenations):
+        recovery_cases = list(ledger.cases)
+        recovery_summary = ledger.summary(
+            campaign.duration_s,
+            population=max(1, campaign.initial_workers))
     spawn_log = list(manager.spawn_failure_log) if manager else []
     return ChaosReport(
         campaign=campaign.name,
@@ -191,4 +258,6 @@ def build_report(campaign: Any, seed: int, fabric: Any, engine: Any,
         counters=counters,
         spawn_failures=spawn_log,
         latency=LatencyStats.from_samples(engine.latencies()).summary(),
+        recovery_cases=recovery_cases,
+        recovery_summary=recovery_summary,
     )

@@ -191,6 +191,9 @@ def build_parser() -> argparse.ArgumentParser:
     chaos_parser.add_argument(
         "campaign", nargs="?", default=None,
         help="campaign name (omit or 'list' to see them)")
+    chaos_parser.add_argument(
+        "--campaign", dest="campaign_opt", default=None, metavar="NAME",
+        help="campaign name as a flag (equivalent to the positional)")
     chaos_parser.add_argument("--seed", type=int, default=1997,
                               help="master RNG seed (default 1997)")
     chaos_parser.add_argument("--trace-out", metavar="FILE",
@@ -271,7 +274,15 @@ def chaos_command(args) -> int:
     """Run a chaos campaign; nonzero exit if any invariant broke."""
     from repro.chaos import CAMPAIGNS, CampaignRunner, get_campaign
 
-    if args.campaign is None or args.campaign == "list":
+    name = args.campaign
+    option = getattr(args, "campaign_opt", None)
+    if name is not None and option is not None and name != option:
+        print(f"conflicting campaign names {name!r} and {option!r}",
+              file=sys.stderr)
+        return 2
+    if name is None:
+        name = option
+    if name is None or name == "list":
         width = max(len(name) for name in CAMPAIGNS)
         print("available campaigns:")
         for name in sorted(CAMPAIGNS):
@@ -279,7 +290,7 @@ def chaos_command(args) -> int:
                   f"{CAMPAIGNS[name]().description}")
         return 0
     try:
-        campaign = get_campaign(args.campaign)
+        campaign = get_campaign(name)
     except KeyError as error:
         print(error.args[0], file=sys.stderr)
         return 2

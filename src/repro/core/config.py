@@ -43,6 +43,9 @@ class SNSConfig:
     #: ...for this long, and more than min_workers_per_type remain.
     reap_after_s: float = 60.0
     min_workers_per_type: int = 1
+    #: seconds a busy reap victim gets to drain (queued work is moved to
+    #: peers, the in-service request runs out) before it is killed anyway.
+    reap_drain_timeout_s: float = 10.0
     #: recruit overflow-pool nodes when the dedicated pool is exhausted.
     use_overflow_pool: bool = True
 
@@ -126,6 +129,8 @@ class SNSConfig:
             raise ValueError("spawn threshold must be positive")
         if self.spawn_damping_s < 0:
             raise ValueError("spawn damping must be non-negative")
+        if self.reap_drain_timeout_s < 0:
+            raise ValueError("reap drain timeout must be non-negative")
         if not 0 < self.load_ewma_alpha <= 1:
             raise ValueError("EWMA alpha must be in (0, 1]")
         if self.load_metric not in ("queue", "weighted-cost"):

@@ -64,6 +64,11 @@ class SNSFabric:
         self._manager_restart_pending = False
         self._client_rr = 0
         self.manager_restarts = 0
+        #: process-peer front-end restarts executed (the manager's side
+        #: of "restarts it on another node"), mirroring manager_restarts.
+        self.frontend_restarts = 0
+        #: self-healing supervision layer (repro.recovery); opt-in.
+        self.supervisor: Optional[Any] = None
 
     # -- placement helpers ---------------------------------------------------
 
@@ -146,6 +151,8 @@ class SNSFabric:
     def _manager_restart(self):
         yield self.cluster.env.timeout(SPAWN_DELAY_S)
         try:
+            if self.manager is not None and self.manager.alive:
+                return  # a process-pair promotion won the race
             # restart on the old node if it survived, else relocate
             # ("on a different node if necessary")
             node = None
@@ -172,6 +179,9 @@ class SNSFabric:
                             self.service, self, access_link=link)
         frontend.start()
         self.frontends[name] = frontend
+        if self.supervisor is not None and self.supervisor.alive:
+            frontend.stub.on_worker_timeout = \
+                self.supervisor.note_rpc_timeout
         return frontend
 
     def restart_frontend(self, name: str, node_name: str) -> None:
@@ -186,6 +196,7 @@ class SNSFabric:
         node = self.cluster.nodes.get(node_name)
         if node is None or not node.up:
             node = self._place(None)
+        self.frontend_restarts += 1
         self.start_frontend(node, name)
 
     # -- workers -------------------------------------------------------------------------
@@ -229,6 +240,35 @@ class SNSFabric:
         monitor.start()
         self.monitor = monitor
         return monitor
+
+    # -- supervision (repro.recovery) ---------------------------------------
+
+    def start_supervisor(self, policy: Any = None, ledger: Any = None,
+                         node: Optional[Node] = None) -> Any:
+        """Start the gray-failure supervision layer (opt-in).
+
+        Placed on the manager's node by default — like the monitor, the
+        supervisor must not consume a free node or worker placement in
+        fault-free runs would differ from unsupervised ones.  Wires the
+        RPC-timeout detector into every live front end's manager stub
+        (and, via :meth:`start_frontend`, every future one).
+        """
+        from repro.recovery.supervisor import Supervisor
+        if self.supervisor is not None and self.supervisor.alive:
+            raise FabricError("a supervisor is already running")
+        if node is None:
+            if self.manager is not None and self.manager.node.up:
+                node = self.manager.node
+            else:
+                node = self._place(None)
+        supervisor = Supervisor(self.cluster, node, "supervisor",
+                                self.config, self, policy=policy,
+                                ledger=ledger)
+        supervisor.start()
+        self.supervisor = supervisor
+        for frontend in self.frontends.values():
+            frontend.stub.on_worker_timeout = supervisor.note_rpc_timeout
+        return supervisor
 
     # -- client side ------------------------------------------------------------------------
 

@@ -130,6 +130,14 @@ class Manager(Component):
         self.spawn_failures = 0
         self.spawn_failure_log: List[SpawnFailure] = []
         self.reaps = 0
+        #: queued requests moved to a peer while draining a reap victim,
+        #: and those that could not be (lost to the sender's timeout).
+        self.reap_redispatches = 0
+        self.reap_drops = 0
+        #: names being drained for reaping: their re-registration is
+        #: refused (the victim's stub would otherwise re-register the
+        #: moment we close its endpoint and undo the reap).
+        self._reaping: set = set()
         self.worker_failures_detected = 0
         self.frontend_restarts = 0
 
@@ -189,7 +197,7 @@ class Manager(Component):
     def accept_worker(self, registration: RegisterWorker,
                       endpoint: Endpoint) -> bool:
         """Called (over the network) by a worker stub's register path."""
-        if not self.alive:
+        if not self.alive or registration.worker_name in self._reaping:
             return False
         info = WorkerInfo(registration, endpoint, self.env.now)
         self.workers[info.name] = info
@@ -391,19 +399,76 @@ class Manager(Component):
 
     def _reap_one(self, infos: List[WorkerInfo]) -> None:
         """Release the emptiest worker, preferring overflow nodes
-        ("Once the burst subsides, the distillers may be reaped")."""
+        ("Once the burst subsides, the distillers may be reaped").
+
+        Prefers a victim with nothing in flight; a busy victim is taken
+        out of rotation immediately but killed only after its accepted
+        work has been drained — queued requests are re-dispatched to
+        same-type peers rather than silently dropped.
+        """
         def preference(info: WorkerInfo):
             node = self.cluster.nodes.get(info.node_name)
             on_overflow = bool(node and node.overflow)
-            return (not on_overflow, info.queue_avg)
+            stub = info.stub
+            draining = bool(stub is not None and stub.alive
+                            and stub.load > 0)
+            return (not on_overflow, draining, info.queue_avg)
 
         victim = min(infos, key=preference)
         self.reaps += 1
         if victim.endpoint is not None:
             victim.endpoint.channel.close()
         self.workers.pop(victim.name, None)
-        if victim.stub is not None:
-            victim.stub.kill()
+        stub = victim.stub
+        if stub is None or not stub.alive:
+            return
+        if stub.load == 0:
+            stub.kill()
+            return
+        self._reaping.add(stub.name)
+        self.spawn(self._drain_then_kill(stub))
+
+    def _drain_then_kill(self, stub):
+        """Move a reap victim's accepted-but-unserved requests to peers,
+        wait out its in-service request, then kill it.  Bounded by
+        ``config.reap_drain_timeout_s``: anything still stuck after that
+        is counted as dropped (the senders' timeouts cover it)."""
+        deadline = self.env.now + self.config.reap_drain_timeout_s
+        try:
+            while self.alive and stub.alive:
+                for envelope in stub.drain_queue():
+                    self._redispatch(envelope, stub)
+                if stub.load == 0:
+                    # one more beat: the final result's SAN delivery is
+                    # still in flight, and the SIGKILL would tear it down
+                    yield self.env.timeout(self.config.report_interval_s)
+                    if stub.load == 0:
+                        break
+                if self.env.now >= deadline:
+                    self.reap_drops += stub.load
+                    break
+                yield self.env.timeout(self.config.report_interval_s)
+        finally:
+            self._reaping.discard(stub.name)
+            if stub.alive:
+                stub.kill()
+
+    def _redispatch(self, envelope: Any, victim_stub: Any) -> None:
+        """Hand one drained envelope to the least-loaded live peer."""
+        peers = sorted(
+            (info for info in self.workers.values()
+             if info.worker_type == victim_stub.worker_type
+             and info.stub is not None and info.stub.alive
+             and not info.stub.is_partitioned),
+            key=lambda info: (info.queue_avg, info.name))
+        for info in peers:
+            if info.stub.submit(envelope):
+                self.reap_redispatches += 1
+                return
+        # no peer could take it: put it back for the victim to finish
+        # before the drain deadline (or count it lost)
+        if not (victim_stub.alive and victim_stub.queue.try_put(envelope)):
+            self.reap_drops += 1
 
     # -- crash ------------------------------------------------------------------------------
 

@@ -84,6 +84,11 @@ class ManagerStub:
             f"backoff:{owner_name}")
         self.manager: Optional[Any] = None
         self.manager_incarnation: Optional[int] = None
+        #: supervision hook: called with the worker name on every
+        #: dispatch timeout, so the recovery layer can kill-and-restart
+        #: hung workers ("the RPC call times out and the distiller is
+        #: restarted", Section 4.5).  None when no supervisor is wired.
+        self.on_worker_timeout: Optional[Any] = None
         self.last_beacon_at: Optional[float] = None
         self.adverts: Dict[str, AdvertState] = {}
         self._next_request_id = 0
@@ -282,6 +287,8 @@ class ManagerStub:
                 # chosen."
                 self.timeouts += 1
                 self.adverts.pop(state.advert.worker_name, None)
+                if self.on_worker_timeout is not None:
+                    self.on_worker_timeout(state.advert.worker_name)
             raise DispatchError(
                 f"dispatch budget exhausted for {worker_type!r}")
         except BaseException as error:

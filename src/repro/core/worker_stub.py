@@ -34,6 +34,7 @@ from repro.core.messages import (
     RegisterWorker,
     WorkEnvelope,
 )
+from repro.recovery.gray import GrayState
 from repro.sim.cluster import Cluster
 from repro.sim.kernel import QueueFull
 from repro.sim.node import Node, NodeDown
@@ -63,6 +64,9 @@ class WorkerStub(Component):
         self.on_overflow_node = on_overflow_node
         self.rng = cluster.streams.stream(f"worker:{name}")
         self.queue = cluster.env.queue(config.worker_queue_capacity)
+        #: injectable gray-failure switches (repro.recovery); all-default
+        #: for a healthy worker.
+        self.gray = GrayState()
         self.busy = False
         self._in_service_cost_s = 0.0
         self._manager_endpoint = None
@@ -95,6 +99,12 @@ class WorkerStub(Component):
         """
         if not self.alive or self.is_partitioned:
             return True  # swallowed; caller's timeout will fire
+        if self.gray.zombie:
+            # the zombie keeps beaconing load reports (its report loop
+            # still runs) but drops every piece of actual work — and its
+            # empty queue makes the balancer *prefer* it
+            self.gray.dropped += 1
+            return True
         if not self.queue.try_put(envelope):
             self.refused += 1
             return False
@@ -117,6 +127,13 @@ class WorkerStub(Component):
                 envelope.trace.record(
                     "worker-queue", "queueing", envelope.enqueued_at,
                     component=self.name, depth=self.queue.length)
+            if self.gray.hung:
+                # hang: the request is accepted and then held forever,
+                # the queue backing up behind it; only the dispatcher's
+                # RPC timeout (or the supervisor's probe) notices
+                self.gray.dropped += 1
+                self.busy = True
+                yield self.env.event()
             if (self.config.shed_expired_requests
                     and envelope.deadline_at is not None
                     and self.env.now >= envelope.deadline_at):
@@ -168,13 +185,55 @@ class WorkerStub(Component):
     def _work_sample(self, envelope: WorkEnvelope) -> float:
         sampler = getattr(self.worker, "work_sample", None)
         if sampler is not None:
-            return sampler(self.rng, envelope.tacc_request)
-        return self.worker.work_estimate(envelope.tacc_request)
+            work = sampler(self.rng, envelope.tacc_request)
+        else:
+            work = self.worker.work_estimate(envelope.tacc_request)
+        inflation = self.gray.inflation(self.env.now)
+        if inflation != 1.0:
+            work *= inflation  # fail-slow / leak service-time inflation
+        return work
 
     def _execute(self, envelope: WorkEnvelope):
         if self.execute_real:
-            return self.worker.run(envelope.tacc_request)
-        return self.worker.simulate(envelope.tacc_request)
+            result = self.worker.run(envelope.tacc_request)
+        else:
+            result = self.worker.simulate(envelope.tacc_request)
+        if self.gray.corrupt:
+            result = self.worker.corrupt_result(result)
+        return result
+
+    # -- supervision surface (repro.recovery) --------------------------------
+
+    def probe_reply(self) -> Optional[tuple]:
+        """Answer an end-to-end health probe, or ``None`` if no answer
+        will ever come.
+
+        Returns ``(service_s, nominal_s, output_ok)``: the wall-clock
+        service time a probe request would take here right now (gray
+        inflation and node speed included), the nominal service time a
+        healthy process on this node would take (so the caller can judge
+        relative slowness), and whether the output would pass end-to-end
+        validation.  Synchronous and side-effect-free by design: probes
+        must not enter the real queue (queue depth feeds load reports
+        feeds the lottery) nor touch the shared SAN, or supervision
+        would perturb fault-free runs.
+        """
+        if not self.alive or self.is_partitioned or not self.node.up:
+            return None
+        if self.gray.hung or self.gray.zombie:
+            return None  # accepted, then silence
+        probe = self.worker.probe_request()
+        nominal_s = self.worker.work_estimate(probe) / self.node.speed
+        service_s = nominal_s * self.gray.inflation(self.env.now)
+        content = probe.inputs[0]
+        if self.gray.corrupt:
+            content = self.worker.corrupt_result(content)
+        return service_s, nominal_s, self.worker.validate_result(content)
+
+    def drain_queue(self) -> list:
+        """Remove and return every queued envelope (reap drain: the
+        manager re-dispatches these to peers before killing the stub)."""
+        return self.queue.clear()
 
     def _deliver(self, envelope: WorkEnvelope, result) -> None:
         """Ship the result back across the SAN, then complete the reply."""

@@ -175,6 +175,28 @@ class Tracer:
             span.annotations.update(annotations)
         return span
 
+    def open_aux_trace(self, key: str, name: str, category: str = OTHER,
+                       component: str = "system",
+                       **annotations: Any) -> Optional[Span]:
+        """Start an auxiliary (non-request) trace, e.g. one recovery
+        case.  Unlike :meth:`open_trace` this neither consumes a head
+        -sampling slot nor bumps ``requests_seen`` — attaching system
+        activity to the store must not shift which *requests* get
+        sampled.  ``key`` must be unique per trace; it is namespaced
+        with an ``aux-`` prefix so ids never collide with request roots.
+        """
+        trace_id = f"aux-{key}"
+        if trace_id in self.spans:
+            raise ValueError(f"aux trace {trace_id!r} already open")
+        if self.max_traces is not None \
+                and len(self.spans) >= self.max_traces:
+            return None
+        span = self._open_span(trace_id, None, name, category,
+                               component, self.env.now)
+        if annotations:
+            span.annotations.update(annotations)
+        return span
+
     def _open_span(self, trace_id: str, parent_id: Optional[int],
                    name: str, category: str, component: str,
                    start: float) -> Span:

@@ -1,0 +1,137 @@
+"""The supervision policy: every knob of the self-healing layer.
+
+The defaults encode restart-as-first-resort ("Cheap Recovery", PAPERS.md)
+tempered by the two classic failure modes of automated recovery:
+
+* **restart storms** — bounded by a per-window restart budget and
+  exponential backoff between consecutive restarts on the same node;
+* **flapping** — a node whose workers keep needing restarts is
+  quarantined from future placement (the fault is probably the machine,
+  not the process) until an operator reboots it.
+
+Rejuvenation (the Section 4.5 "cured by periodic restarts" policy) is
+**off by default**: proactive restarts change scheduling even in
+fault-free runs, and the determinism contract is that supervision with
+no faults injected is byte-identical to no supervision at all.  Campaigns
+that want it opt in with ``rejuvenation_interval_s``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass
+class RecoveryPolicy:
+    """Knobs for the :class:`~repro.recovery.supervisor.Supervisor`."""
+
+    # -- end-to-end health probes ------------------------------------------
+    #: seconds between probe sweeps over the live worker population.
+    probe_interval_s: float = 2.0
+    #: a probe unanswered (or still in service) past this is a failure.
+    probe_timeout_s: float = 1.0
+    #: fixed network round trip charged to a probe.  Probes deliberately
+    #: bypass the shared SAN links: :class:`~repro.sim.network.Link`
+    #: reservations are stateful, so metering probe bytes there would
+    #: perturb request traffic and break the determinism contract.
+    probe_rtt_s: float = 0.002
+    #: consecutive probe failures before the worker is restarted.
+    probe_confirmations: int = 2
+    #: a probe whose service time exceeds this multiple of the worker's
+    #: own nominal cost counts as a probe failure even when it answers
+    #: inside the timeout — the detector for moderate fail-slow/leak
+    #: inflation that never trips an RPC timeout.
+    probe_slow_ratio: float = 3.0
+
+    # -- RPC-timeout reports from manager stubs ----------------------------
+    #: dispatch timeouts against one worker within ``suspicion_window_s``
+    #: before the stub's report alone triggers a restart ("the RPC call
+    #: to the distiller times out and the distiller is restarted").
+    rpc_timeout_confirmations: int = 2
+    #: sliding window for counting suspicion events per detector.
+    suspicion_window_s: float = 10.0
+
+    # -- peer-relative load-outlier detection ------------------------------
+    #: seconds between scans of the manager's load table.
+    outlier_interval_s: float = 1.0
+    #: a worker is an outlier when its queue average exceeds
+    #: ``max(outlier_floor, outlier_ratio * peer_median)``.
+    outlier_ratio: float = 3.0
+    #: absolute queue floor below which nobody is an outlier (protects
+    #: against ratio-vs-zero-median false positives at idle).
+    outlier_floor: float = 4.0
+    #: the outlier condition must hold continuously this long.
+    outlier_sustain_s: float = 3.0
+    #: minimum same-type peers before relative comparison means anything.
+    outlier_min_peers: int = 3
+
+    # -- restart execution --------------------------------------------------
+    #: exponential backoff between consecutive restarts on one node:
+    #: first restart is immediate, the n-th waits
+    #: ``base * factor**(n-2)`` capped at ``cap``.
+    restart_backoff_base_s: float = 0.5
+    restart_backoff_factor: float = 2.0
+    restart_backoff_cap_s: float = 10.0
+    #: jitter fraction applied to backoff delays, drawn from the seeded
+    #: ``recovery:backoff`` stream (0 disables: no draws at all).
+    restart_backoff_jitter: float = 0.0
+    #: restarts allowed per ``restart_budget_window_s`` before the
+    #: supervisor stops healing and pages instead.
+    restart_budget: int = 8
+    restart_budget_window_s: float = 60.0
+
+    # -- flap detection -----------------------------------------------------
+    #: restarts on one node within ``flap_window_s`` before the node is
+    #: quarantined from future worker placement.
+    flap_threshold: int = 3
+    flap_window_s: float = 30.0
+
+    # -- rejuvenation -------------------------------------------------------
+    #: proactively restart the oldest idle worker every this many
+    #: seconds (the Section 4.5 memory-leak cure).  ``None`` disables —
+    #: the default, to preserve fault-free determinism.
+    rejuvenation_interval_s: Optional[float] = None
+
+    # -- heal watching ------------------------------------------------------
+    #: beacon intervals to wait for a replacement to register before
+    #: declaring the heal failed.
+    heal_wait_periods: int = 40
+
+    def validate(self) -> "RecoveryPolicy":
+        if self.probe_interval_s <= 0 or self.probe_timeout_s <= 0:
+            raise ValueError("probe periods must be positive")
+        if self.probe_rtt_s < 0:
+            raise ValueError("probe RTT must be non-negative")
+        if self.probe_confirmations < 1 \
+                or self.rpc_timeout_confirmations < 1:
+            raise ValueError("confirmation counts must be >= 1")
+        if self.probe_slow_ratio < 1.0:
+            raise ValueError("probe slow ratio must be >= 1")
+        if self.suspicion_window_s <= 0:
+            raise ValueError("suspicion window must be positive")
+        if self.outlier_interval_s <= 0 or self.outlier_sustain_s < 0:
+            raise ValueError("outlier intervals must be positive")
+        if self.outlier_ratio < 1.0:
+            raise ValueError("outlier ratio must be >= 1")
+        if self.outlier_floor < 0:
+            raise ValueError("outlier floor must be non-negative")
+        if self.outlier_min_peers < 2:
+            raise ValueError("outlier detection needs >= 2 peers")
+        if self.restart_backoff_base_s < 0 \
+                or self.restart_backoff_cap_s < 0:
+            raise ValueError("backoff delays must be non-negative")
+        if self.restart_backoff_factor < 1.0:
+            raise ValueError("backoff factor must be >= 1")
+        if not 0.0 <= self.restart_backoff_jitter <= 1.0:
+            raise ValueError("backoff jitter must be in [0, 1]")
+        if self.restart_budget < 1 or self.restart_budget_window_s <= 0:
+            raise ValueError("restart budget must be positive")
+        if self.flap_threshold < 2 or self.flap_window_s <= 0:
+            raise ValueError("flap threshold must be >= 2")
+        if self.rejuvenation_interval_s is not None \
+                and self.rejuvenation_interval_s <= 0:
+            raise ValueError("rejuvenation interval must be positive")
+        if self.heal_wait_periods < 1:
+            raise ValueError("heal wait must be >= 1 period")
+        return self

@@ -1,0 +1,364 @@
+"""The self-healing supervisor: notices gray failures and restarts them.
+
+The monitor (Section 3.1.7) pages a human; this component closes the
+loop below the manager/front-end tier, where process-peer recovery never
+reached.  Three detectors feed one restart executor:
+
+* **end-to-end health probes** — a synchronous request/reply exercising
+  the worker's dispatch surface (accept, service-time model, output
+  validation), not just beacon liveness.  A hung or zombie worker never
+  answers; a corrupt-output worker answers with bytes that fail
+  validation.  Probes deliberately bypass the shared SAN links and the
+  worker queue: both are stateful (link reservations meter bytes, queue
+  depth feeds load reports feeds the lottery), so a probe riding the
+  real path would perturb request scheduling and break the
+  fault-free-determinism contract;
+* **RPC-timeout reports** — manager stubs at the front ends report each
+  dispatch timeout ("if the distiller crashes [or wedges], the RPC call
+  times out"); enough timeouts against one worker inside the suspicion
+  window trigger a restart even between probe sweeps;
+* **peer-relative load outliers** — a worker whose queue average in the
+  manager's load table sustains far above its same-type peers' median
+  is failing slow (or leaking); connection-based detection is blind to
+  it because the worker keeps reporting.
+
+The executor applies restart-as-first-resort tempered by the policy's
+guard rails: a per-window restart budget, exponential backoff between
+consecutive restarts on one node, and flap-detection quarantine that
+removes a machine from future placement when restarts on it keep not
+sticking.  Every case is accounted in the
+:class:`~repro.recovery.ledger.RecoveryLedger` (MTTD/MTTR/availability)
+and — when span tracing is on — attached to the trace store as an
+auxiliary span tree.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Set
+
+from repro.core.component import Component
+from repro.core.config import SNSConfig
+from repro.core.monitor import Alert
+from repro.recovery.ledger import FaultCase, RecoveryLedger
+from repro.recovery.policy import RecoveryPolicy
+from repro.sim.cluster import Cluster
+from repro.sim.node import Node
+
+
+class Supervisor(Component):
+    """Probes workers end to end, confirms suspicions, heals by restart."""
+
+    kind = "supervisor"
+
+    def __init__(self, cluster: Cluster, node: Node, name: str,
+                 config: SNSConfig, fabric: Any,
+                 policy: Optional[RecoveryPolicy] = None,
+                 ledger: Optional[RecoveryLedger] = None) -> None:
+        super().__init__(cluster, node, name)
+        self.config = config
+        self.fabric = fabric
+        self.policy = (policy if policy is not None
+                       else RecoveryPolicy()).validate()
+        self.ledger = (ledger if ledger is not None
+                       else RecoveryLedger(cluster.env))
+        #: backoff jitter stream; deterministic per seed, never drawn
+        #: unless the policy enables jitter.
+        self.rng = cluster.streams.stream("recovery:backoff")
+        # detector state
+        self._probe_failures: Dict[str, int] = {}
+        self._rpc_timeouts: Dict[str, List[float]] = {}
+        self._outlier_since: Dict[str, float] = {}
+        # executor state
+        self._restarting: Set[str] = set()
+        self._restart_times: List[float] = []
+        self._node_restarts: Dict[str, List[float]] = {}
+        self._case_seq = 0
+        # counters + operator surface
+        self.probes_sent = 0
+        self.probe_failures = 0
+        self.suspicions = 0
+        self.restarts = 0
+        self.rejuvenations = 0
+        self.backoff_waits = 0
+        self.budget_denials = 0
+        self.quarantined_nodes: List[str] = []
+        self.alerts: List[Alert] = []
+
+    # -- processes ----------------------------------------------------------
+
+    def _start_processes(self) -> None:
+        self.spawn(self._probe_loop())
+        self.spawn(self._outlier_loop())
+        if self.policy.rejuvenation_interval_s is not None:
+            self.spawn(self._rejuvenation_loop())
+
+    # -- detector 1: end-to-end health probes -------------------------------
+
+    def _probe_loop(self):
+        while True:
+            yield self.env.timeout(self.policy.probe_interval_s)
+            for stub in sorted(self.fabric.workers.values(),
+                               key=lambda stub: stub.name):
+                if not stub.alive or stub.name in self._restarting:
+                    continue
+                self.probes_sent += 1
+                self.spawn(self._probe_one(stub))
+
+    def _probe_one(self, stub):
+        policy = self.policy
+        reply = stub.probe_reply()
+        if reply is None:
+            # no answer will ever come: wait out the timeout, then —
+            # unless the stub visibly died (the manager's job, not
+            # ours) — count a probe failure
+            yield self.env.timeout(policy.probe_timeout_s)
+            if stub.alive and not stub.is_partitioned and stub.node.up:
+                self._probe_failed(stub, "probe never answered")
+            else:
+                self._probe_failures.pop(stub.name, None)
+            return
+        service_s, nominal_s, output_ok = reply
+        delay = policy.probe_rtt_s + service_s
+        if delay > policy.probe_timeout_s:
+            yield self.env.timeout(policy.probe_timeout_s)
+            if stub.alive:
+                self._probe_failed(
+                    stub, f"probe service {service_s:.2f}s past "
+                          f"{policy.probe_timeout_s:.1f}s timeout")
+            return
+        yield self.env.timeout(delay)
+        if not stub.alive:
+            return
+        if not output_ok:
+            # corruption is a definite end-to-end signal: one strike
+            self._probe_failures.pop(stub.name, None)
+            self._begin_restart(stub, "probe-validate",
+                                "probe output failed validation")
+            return
+        if nominal_s > 0 and service_s > policy.probe_slow_ratio \
+                * nominal_s:
+            # answered, but far slower than this worker's own nominal:
+            # fail-slow or leak inflation below the RPC-timeout radar
+            self._probe_failed(
+                stub, f"probe took {service_s * 1e3:.1f}ms vs "
+                      f"{nominal_s * 1e3:.1f}ms nominal")
+            return
+        self._probe_failures.pop(stub.name, None)
+
+    def _probe_failed(self, stub, detail: str) -> None:
+        self.probe_failures += 1
+        count = self._probe_failures.get(stub.name, 0) + 1
+        self._probe_failures[stub.name] = count
+        if count >= self.policy.probe_confirmations:
+            self._probe_failures.pop(stub.name, None)
+            self._begin_restart(stub, "probe", detail)
+
+    # -- detector 2: RPC-timeout reports from manager stubs ------------------
+
+    def note_rpc_timeout(self, worker_name: str) -> None:
+        """A front end's dispatch against ``worker_name`` timed out."""
+        if not self.alive:
+            return
+        stub = self.fabric.workers.get(worker_name)
+        if stub is None or not stub.alive or stub.is_partitioned \
+                or worker_name in self._restarting:
+            return
+        now = self.env.now
+        events = [t for t in self._rpc_timeouts.get(worker_name, [])
+                  if now - t <= self.policy.suspicion_window_s]
+        events.append(now)
+        self._rpc_timeouts[worker_name] = events
+        if len(events) >= self.policy.rpc_timeout_confirmations:
+            self._rpc_timeouts.pop(worker_name, None)
+            self._begin_restart(stub, "rpc-timeout",
+                                f"{len(events)} dispatch timeouts in "
+                                f"{self.policy.suspicion_window_s:.0f}s")
+
+    # -- detector 3: peer-relative load outliers -----------------------------
+
+    def _outlier_loop(self):
+        policy = self.policy
+        while True:
+            yield self.env.timeout(policy.outlier_interval_s)
+            manager = self.fabric.manager
+            if manager is None or not manager.alive:
+                self._outlier_since.clear()
+                continue
+            by_type: Dict[str, list] = {}
+            for info in manager.workers.values():
+                by_type.setdefault(info.worker_type, []).append(info)
+            now = self.env.now
+            for infos in by_type.values():
+                if len(infos) < policy.outlier_min_peers:
+                    for info in infos:
+                        self._outlier_since.pop(info.name, None)
+                    continue
+                loads = sorted(info.queue_avg for info in infos)
+                median = loads[len(loads) // 2]
+                threshold = max(policy.outlier_floor,
+                                policy.outlier_ratio * median)
+                for info in infos:
+                    if info.queue_avg <= threshold:
+                        self._outlier_since.pop(info.name, None)
+                        continue
+                    since = self._outlier_since.setdefault(info.name, now)
+                    if now - since < policy.outlier_sustain_s:
+                        continue
+                    self._outlier_since.pop(info.name, None)
+                    stub = self.fabric.workers.get(info.name)
+                    if stub is not None and stub.alive:
+                        self._begin_restart(
+                            stub, "load-outlier",
+                            f"queue {info.queue_avg:.1f} vs peer "
+                            f"median {median:.1f} for "
+                            f"{policy.outlier_sustain_s:.0f}s")
+
+    # -- the restart executor -------------------------------------------------
+
+    def _begin_restart(self, stub, detector: str, detail: str) -> None:
+        name = stub.name
+        if name in self._restarting or not stub.alive:
+            return
+        self.suspicions += 1
+        now = self.env.now
+        self._restart_times = [
+            t for t in self._restart_times
+            if now - t <= self.policy.restart_budget_window_s]
+        if len(self._restart_times) >= self.policy.restart_budget:
+            # out of budget: stop healing, page a human (automated
+            # recovery that keeps thrashing is worse than none)
+            self.budget_denials += 1
+            self._alert("page", name,
+                        f"restart budget exhausted; {detector}: {detail}")
+            return
+        self._restarting.add(name)
+        case = self.ledger.note_detected(name, detector, detail)
+        span = None
+        tracer = self.env.tracer
+        if tracer is not None:
+            self._case_seq += 1
+            span = tracer.open_aux_trace(
+                f"recovery-{self._case_seq:03d}", "recovery",
+                category="other", component=self.name,
+                target=name, detector=detector, detail=detail)
+            if span is not None and case is not None:
+                case.trace_id = span.trace_id
+                span.record("undetected", "queueing", case.injected_at,
+                            kind=case.kind)
+        self.spawn(self._restart(stub, case, span))
+
+    def _restart(self, stub, case: Optional[FaultCase], span,
+                 proactive: bool = False):
+        policy = self.policy
+        name, node = stub.name, stub.node
+        now = self.env.now
+        history = [t for t in self._node_restarts.get(node.name, [])
+                   if now - t <= policy.flap_window_s]
+        delay = 0.0
+        if history and not proactive:
+            # exponential backoff between consecutive restarts here
+            delay = min(policy.restart_backoff_cap_s,
+                        policy.restart_backoff_base_s
+                        * policy.restart_backoff_factor
+                        ** (len(history) - 1))
+            if policy.restart_backoff_jitter > 0 and delay > 0:
+                delay *= 1.0 + policy.restart_backoff_jitter * \
+                    (self.rng.random() - 0.5)
+        try:
+            if delay > 0:
+                self.backoff_waits += 1
+                yield self.env.timeout(delay)
+            if not stub.alive:
+                return  # died (and got healed) some other way meanwhile
+            now = self.env.now
+            if not proactive:
+                self._restart_times.append(now)
+                history.append(now)
+                self._node_restarts[node.name] = history
+            mark = now
+            worker_type = stub.worker_type
+            stub.kill()
+            self.restarts += 1
+            if not proactive and len(history) >= policy.flap_threshold \
+                    and not node.quarantined:
+                # the fault keeps coming back on this machine: stop
+                # placing workers here until an operator reboots it
+                node.quarantine()
+                self.quarantined_nodes.append(node.name)
+                self._alert("page", node.name,
+                            f"{len(history)} restarts in "
+                            f"{policy.flap_window_s:.0f}s: quarantined")
+            place = node if (node.up and not node.quarantined) else None
+            try:
+                replacement = self.fabric.spawn_worker(worker_type, place)
+            except Exception as error:
+                self._alert("page", name,
+                            f"respawn failed: "
+                            f"{type(error).__name__}: {error}")
+                if span is not None:
+                    span.annotate(heal="respawn-failed").finish()
+                return
+            if span is not None:
+                span.record("restart", "service", mark,
+                            replacement=replacement.name)
+            if case is not None:
+                yield from self._await_heal(case, replacement, span)
+            elif span is not None:
+                span.finish()
+        finally:
+            self._restarting.discard(name)
+
+    def _await_heal(self, case: FaultCase, replacement, span):
+        """The heal is done when the replacement is back in the
+        manager's soft state — in rotation, not merely forked."""
+        mark = self.env.now
+        for _ in range(self.policy.heal_wait_periods):
+            yield self.env.timeout(self.config.beacon_interval_s)
+            if not replacement.alive:
+                break
+            manager = self.fabric.manager
+            if manager is not None and manager.alive \
+                    and replacement.name in manager.workers:
+                self.ledger.note_healed(case, "restart",
+                                        replacement.name)
+                if span is not None:
+                    span.record("reregister", "queueing", mark,
+                                replacement=replacement.name)
+                    span.finish()
+                return
+        self._alert("page", case.target,
+                    f"replacement {replacement.name} never registered")
+        if span is not None:
+            span.annotate(heal="timeout").finish()
+
+    # -- rejuvenation ---------------------------------------------------------
+
+    def _rejuvenation_loop(self):
+        """Section 4.5's leak cure: proactively restart the oldest idle
+        worker on a timer, before degradation is even detectable."""
+        interval = self.policy.rejuvenation_interval_s
+        while True:
+            yield self.env.timeout(interval)
+            candidates = sorted(
+                (stub for stub in self.fabric.workers.values()
+                 if stub.alive and stub.name not in self._restarting
+                 and stub.load == 0
+                 and self.env.now - stub.started_at >= interval),
+                key=lambda stub: (stub.started_at, stub.name))
+            if not candidates:
+                continue
+            stub = candidates[0]
+            self.rejuvenations += 1
+            self.ledger.note_rejuvenation(stub.name)
+            self._restarting.add(stub.name)
+            self.spawn(self._restart(stub, None, None, proactive=True))
+
+    # -- operator surface -----------------------------------------------------
+
+    def _alert(self, severity: str, component: str, message: str) -> None:
+        self.alerts.append(
+            Alert(self.env.now, severity, component, message))
+
+    def pages(self) -> List[Alert]:
+        return [alert for alert in self.alerts
+                if alert.severity == "page"]

@@ -96,9 +96,11 @@ class Cluster:
 
     def least_loaded_node(self, include_overflow: bool = False) -> Node:
         """The up node hosting the fewest components (fallback placement)."""
-        candidates = [n for n in self.dedicated_nodes if n.up]
+        candidates = [n for n in self.dedicated_nodes
+                      if n.up and not n.quarantined]
         if include_overflow:
-            candidates += [n for n in self.overflow_nodes if n.up]
+            candidates += [n for n in self.overflow_nodes
+                           if n.up and not n.quarantined]
         if not candidates:
             raise ClusterError("no nodes available")
         return min(candidates, key=lambda n: len(n.components))

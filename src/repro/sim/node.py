@@ -50,6 +50,9 @@ class Node:
         self.has_disk = has_disk
         self.overflow = overflow
         self.up = True
+        #: flap-detected by the supervision layer: excluded from worker
+        #: placement until an operator restarts the node.
+        self.quarantined = False
         #: components (by name) currently hosted; used by the manager when
         #: looking for an "unused node" to spawn a new worker on.
         self.components: Set[str] = set()
@@ -70,7 +73,7 @@ class Node:
     @property
     def is_free(self) -> bool:
         """True if no components are hosted here (candidate for spawning)."""
-        return self.up and not self.components
+        return self.up and not self.quarantined and not self.components
 
     # -- failure model -------------------------------------------------------
 
@@ -83,6 +86,13 @@ class Node:
         """Bring a crashed node back with cold caches and free slots."""
         self.up = True
         self.speed = self.base_speed  # a reboot clears any straggle
+        self.quarantined = False      # ... and a flap quarantine
+
+    def quarantine(self) -> None:
+        """Remove the node from future placement without killing what is
+        already here.  Set by flap detection when restarts on this node
+        keep not sticking; cleared by :meth:`restart` (operator reboot)."""
+        self.quarantined = True
 
     # -- straggler model ------------------------------------------------------
 

@@ -26,7 +26,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence
 
-from repro.tacc.content import Content
+from repro.tacc.content import MIME_OCTET, Content
 
 
 class WorkerError(Exception):
@@ -94,6 +94,29 @@ class Worker:
 
     def run(self, request: TACCRequest) -> Content:
         raise NotImplementedError
+
+    # -- end-to-end health surface (repro.recovery) --------------------------
+
+    def probe_request(self) -> TACCRequest:
+        """A tiny synthetic request the supervision layer uses for health
+        probes.  Deliberately small (64 bytes) so the probe's nominal
+        service time is negligible next to the probe timeout; only a
+        gray-failed worker (hung, zombie, inflated, corrupting) turns it
+        into a failure signal."""
+        probe = Content(url="probe://health", mime=MIME_OCTET,
+                        data=b"\x00" * 64, metadata={"probe": True})
+        return TACCRequest(inputs=[probe])
+
+    def corrupt_result(self, content: Content) -> Content:
+        """What this worker's output looks like when its output path is
+        corrupting: the bytes ship, but flagged invalid so end-to-end
+        validation catches them."""
+        return content.with_metadata(output_valid=False)
+
+    def validate_result(self, content: Content) -> bool:
+        """End-to-end output validation, the detector of last resort for
+        corrupt-output gray failures."""
+        return content.metadata.get("output_valid", True) is not False
 
     def simulate(self, request: TACCRequest) -> Content:
         """Produce a size-accurate result without real computation.

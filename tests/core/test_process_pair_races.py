@@ -1,0 +1,105 @@
+"""Races in the manager-recovery paths: several recovery mechanisms
+(front-end watchdogs, the process-pair secondary) can all notice the
+same silence — exactly one manager must come out the other side."""
+
+from repro.core.manager import SPAWN_DELAY_S
+
+from tests.core.conftest import make_fabric
+
+
+def boot_pair(fabric, workers=2):
+    fabric.start_manager(process_pair=True)
+    fabric.start_monitor(node=fabric.manager.node)
+    fabric.start_frontend()
+    for _ in range(workers):
+        fabric.spawn_worker("test-worker")
+    fabric.cluster.run(until=2.0)
+    return fabric
+
+
+def alive_managers(fabric):
+    """Primary-manager component names still attached to any node
+    (kill() detaches, so attached == alive)."""
+    return [name
+            for node in fabric.cluster.nodes.values()
+            for name in node.components
+            if name.startswith("manager.")
+            and not name.endswith(".secondary")]
+
+
+def test_promote_with_primary_alive_is_a_noop():
+    fabric = make_fabric()
+    boot_pair(fabric)
+    primary = fabric.manager
+    assert primary.alive
+    result = fabric.promote_secondary(fabric.secondary.node, {})
+    assert result is primary
+    assert fabric.manager is primary
+    assert fabric.manager_restarts == 0
+
+
+def test_promote_relocates_when_the_secondarys_node_is_down():
+    fabric = make_fabric()
+    boot_pair(fabric)
+    secondary = fabric.secondary
+    state = dict(secondary.mirror)
+    downed = secondary.node
+    # primary and the secondary's host die together; the promotion
+    # must land the new primary somewhere that is still up
+    fabric.manager.kill()
+    secondary.kill()
+    downed.crash()
+    promoted = fabric.promote_secondary(downed, state)
+    assert promoted.alive
+    assert promoted.node.up
+    assert promoted.node is not downed
+    assert fabric.manager is promoted
+    assert fabric.manager_restarts == 1
+    fabric.cluster.run(until=fabric.cluster.env.now + 5.0)
+    assert len(alive_managers(fabric)) == 1
+    assert len(fabric.manager.workers) == 2  # workers re-registered
+
+
+def test_concurrent_restart_manager_calls_are_idempotent():
+    fabric = make_fabric()
+    fabric.start_manager()
+    fabric.start_frontend()
+    fabric.start_frontend()
+    for _ in range(2):
+        fabric.spawn_worker("test-worker")
+    fabric.cluster.run(until=2.0)
+    fabric.manager.kill()
+
+    # two front ends notice the silence in the same instant: "one of
+    # its peers restarts it" — exactly one restart happens
+    assert fabric.restart_manager("fe0") is True
+    assert fabric.restart_manager("fe1") is False
+    assert fabric.manager_restarts == 1
+
+    fabric.cluster.run(until=fabric.cluster.env.now + 5.0)
+    assert fabric.manager.alive
+    assert fabric.manager.incarnation == 2
+    assert len(alive_managers(fabric)) == 1
+
+
+def test_promotion_racing_a_watchdog_restart_yields_one_manager():
+    fabric = make_fabric()
+    boot_pair(fabric)
+    secondary = fabric.secondary
+    state = dict(secondary.mirror)
+    fabric.manager.kill()
+    secondary.kill()  # keep the secondary's own watchdog out of it
+
+    # a front-end watchdog schedules a restart (fires after the spawn
+    # delay)...
+    assert fabric.restart_manager("fe0") is True
+    # ...and the promotion wins the race before the delay elapses
+    promoted = fabric.promote_secondary(secondary.node, state)
+    assert fabric.manager is promoted
+
+    fabric.cluster.run(
+        until=fabric.cluster.env.now + SPAWN_DELAY_S + 5.0)
+    # the delayed watchdog restart must notice it lost and stand down
+    assert fabric.manager is promoted
+    assert promoted.alive
+    assert len(alive_managers(fabric)) == 1
