@@ -1,16 +1,25 @@
-"""Perf regression gate for the kernel benchmark.
+"""Perf regression gate for the kernel and fan-out benchmarks.
 
-Compares a freshly measured ``BENCH_kernel.json`` against the committed
-baseline and exits non-zero when throughput regressed beyond the
-allowed fraction.  Rates are normalized by each file's
+Kernel mode compares a freshly measured ``BENCH_kernel.json`` against
+the committed baseline and exits non-zero when throughput regressed
+beyond the allowed fraction.  Rates are normalized by each file's
 ``calibration_ops_per_sec`` (a fixed pure-Python spin loop measured on
 the same machine at the same time), so a slower CI runner is not
 mistaken for a slower kernel.
+
+Fan-out mode (``--fanout``) checks a fresh ``BENCH_fanout.json``:
+the parallel batch must be byte-identical to the serial one
+(unconditionally), and on machines with at least 4 cores the measured
+speedup at 4 jobs must clear the floor.  A smaller machine records
+honest numbers but cannot demonstrate the speedup, so the floor is
+skipped there rather than faked.
 
 Usage::
 
     python benchmarks/perf_gate.py NEW.json [--baseline BENCH_kernel.json]
                                             [--max-regression 0.25]
+    python benchmarks/perf_gate.py --fanout BENCH_fanout.json
+                                            [--min-speedup 1.8]
 """
 
 from __future__ import annotations
@@ -38,9 +47,37 @@ def _normalized(payload: dict, path) -> float:
     return _rate(payload, path) / float(payload["calibration_ops_per_sec"])
 
 
+def gate_fanout(path: Path, min_speedup: float, min_cores: int) -> int:
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    sweep = payload["sweep"]
+    cpu_count = int(payload.get("cpu_count", 1))
+    speedup = float(sweep["speedup"])
+    print(f"fanout: {sweep['runs']} x {sweep['campaign']} at "
+          f"{sweep['jobs']} jobs -> {speedup:.2f}x "
+          f"({sweep['serial_s']:.2f}s serial, "
+          f"{sweep['parallel_s']:.2f}s parallel) on "
+          f"{cpu_count} core(s)")
+    if not sweep["byte_identical"]:
+        print("FAIL: parallel output is not byte-identical to serial")
+        return 1
+    print("byte-identical: ok")
+    if cpu_count < min_cores:
+        print(f"speedup floor skipped: {cpu_count} core(s) < "
+              f"{min_cores} (cannot demonstrate parallel speedup)")
+        print("perf gate passed")
+        return 0
+    if speedup < min_speedup:
+        print(f"FAIL: speedup {speedup:.2f}x below the "
+              f"{min_speedup:.2f}x floor")
+        return 1
+    print(f"speedup floor: ok (>= {min_speedup:.2f}x)")
+    print("perf gate passed")
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("new", type=Path,
+    parser.add_argument("new", type=Path, nargs="?",
                         help="freshly measured BENCH_kernel.json")
     parser.add_argument("--baseline", type=Path,
                         default=Path(__file__).resolve().parents[1]
@@ -48,7 +85,23 @@ def main(argv=None) -> int:
                         help="committed baseline (default: repo root)")
     parser.add_argument("--max-regression", type=float, default=0.25,
                         help="maximum allowed fractional slowdown")
+    parser.add_argument("--fanout", type=Path, default=None,
+                        metavar="BENCH_fanout.json",
+                        help="gate a fan-out speedup measurement "
+                             "instead of the kernel throughput")
+    parser.add_argument("--min-speedup", type=float, default=1.8,
+                        help="fan-out speedup floor at 4 jobs "
+                             "(default 1.8)")
+    parser.add_argument("--min-cores", type=int, default=4,
+                        help="skip the speedup floor below this many "
+                             "cores (default 4)")
     args = parser.parse_args(argv)
+
+    if args.fanout is not None:
+        return gate_fanout(args.fanout, args.min_speedup,
+                           args.min_cores)
+    if args.new is None:
+        parser.error("NEW.json is required unless --fanout is given")
 
     new = json.loads(args.new.read_text(encoding="utf-8"))
     baseline = json.loads(args.baseline.read_text(encoding="utf-8"))

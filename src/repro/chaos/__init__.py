@@ -13,9 +13,17 @@ slow-but-not-dead nodes, and overlapping fault sequences.
 * :mod:`repro.chaos.invariants` — an online checker asserting the
   paper's soft-state guarantees during and after each campaign;
 * :mod:`repro.chaos.report` — harvest/yield availability accounting
-  quantifying graceful degradation per fault window.
+  quantifying graceful degradation per fault window;
+* :mod:`repro.chaos.batch` — multi-seed campaign batches fanned out
+  across worker processes (:mod:`repro.fanout`) with deterministic
+  report folding.
 """
 
+from repro.chaos.batch import (
+    CampaignBatchReport,
+    batch_seeds,
+    run_campaign_batch,
+)
 from repro.chaos.campaign import (
     CAMPAIGNS,
     Campaign,
@@ -43,8 +51,11 @@ from repro.chaos.report import ChaosReport
 __all__ = [
     "CAMPAIGNS",
     "Campaign",
+    "CampaignBatchReport",
     "CampaignRunner",
     "ChaosReport",
+    "batch_seeds",
+    "run_campaign_batch",
     "CorruptOutput",
     "CrashWorkerNode",
     "FailSlowWorker",

@@ -45,6 +45,10 @@ class ChaosReport:
     spawn_failures: List[Any] = field(default_factory=list)
     #: completed-request latency percentiles (LatencyStats.summary()).
     latency: Dict[str, float] = field(default_factory=dict)
+    #: the raw accumulator behind :attr:`latency`, kept so campaign
+    #: batches can pool samples exactly (LatencyStats.merge) instead of
+    #: averaging percentiles; not rendered.
+    latency_stats: Optional[LatencyStats] = None
     #: per-fault gray-failure cases (repro.recovery FaultCase objects).
     recovery_cases: List[Any] = field(default_factory=list)
     #: RecoveryLedger.summary() numbers: MTTD/MTTR, availability...
@@ -242,6 +246,7 @@ def build_report(campaign: Any, seed: int, fabric: Any, engine: Any,
             campaign.duration_s,
             population=max(1, campaign.initial_workers))
     spawn_log = list(manager.spawn_failure_log) if manager else []
+    latency_stats = LatencyStats.from_samples(engine.latencies())
     return ChaosReport(
         campaign=campaign.name,
         description=campaign.description,
@@ -257,7 +262,8 @@ def build_report(campaign: Any, seed: int, fabric: Any, engine: Any,
         reregistration_times=list(checker.reregistration_times),
         counters=counters,
         spawn_failures=spawn_log,
-        latency=LatencyStats.from_samples(engine.latencies()).summary(),
+        latency=latency_stats.summary(),
+        latency_stats=latency_stats,
         recovery_cases=recovery_cases,
         recovery_summary=recovery_summary,
     )

@@ -47,101 +47,104 @@ from repro.experiments import (
 )
 
 #: name -> (description, full-scale runner, quick runner).
-#: Runners take a seed and return printable text.
+#: Runners take (seed, jobs) and return printable text; experiments
+#: without independent inner units simply ignore ``jobs``.
 EXPERIMENTS: Dict[str, Tuple[str, Callable, Callable]] = {
     "figure5": (
         "content-size distributions (Figure 5)",
-        lambda seed: run_figure5(100_000, seed),
-        lambda seed: run_figure5(20_000, seed),
+        lambda seed, jobs=1: run_figure5(100_000, seed),
+        lambda seed, jobs=1: run_figure5(20_000, seed),
     ),
     "figure6": (
         "request-rate burstiness (Figure 6)",
-        lambda seed: run_figure6(86_400.0, seed),
-        lambda seed: run_figure6(4 * 3600.0, seed),
+        lambda seed, jobs=1: run_figure6(86_400.0, seed),
+        lambda seed, jobs=1: run_figure6(4 * 3600.0, seed),
     ),
     "figure7": (
         "distillation latency vs size (Figure 7)",
-        lambda seed: run_figure7(100_000, seed),
-        lambda seed: run_figure7(20_000, seed),
+        lambda seed, jobs=1: run_figure7(100_000, seed),
+        lambda seed, jobs=1: run_figure7(20_000, seed),
     ),
     "figure8": (
         "self-tuning and fault recovery (Figure 8)",
-        lambda seed: run_figure8(seed=seed, peak_rate_rps=60.0),
-        lambda seed: run_figure8(duration_s=200.0, kill_at_s=120.0,
-                                 seed=seed),
+        lambda seed, jobs=1: run_figure8(seed=seed, peak_rate_rps=60.0),
+        lambda seed, jobs=1: run_figure8(duration_s=200.0,
+                                         kill_at_s=120.0, seed=seed),
     ),
     "table1": (
         "TranSend vs HotBot differences (Table 1)",
-        lambda seed: run_table1(),
-        lambda seed: run_table1(),
+        lambda seed, jobs=1: run_table1(),
+        lambda seed, jobs=1: run_table1(),
     ),
     "table2": (
         "scalability sweep (Table 2)",
-        lambda seed: run_table2(seed=seed),
-        lambda seed: run_table2(rates=(15, 35, 55, 75, 95),
-                                step_duration_s=20.0,
-                                seed=seed),
+        lambda seed, jobs=1: run_table2(seed=seed),
+        lambda seed, jobs=1: run_table2(rates=(15, 35, 55, 75, 95),
+                                        step_duration_s=20.0,
+                                        seed=seed),
     ),
     "cache": (
         "cache-size hit-rate sweep (Section 4.4)",
-        lambda seed: run_cache_size_sweep(seed=seed),
-        lambda seed: run_cache_size_sweep(n_users=300,
-                                          n_requests=25_000, seed=seed),
+        lambda seed, jobs=1: run_cache_size_sweep(seed=seed, jobs=jobs),
+        lambda seed, jobs=1: run_cache_size_sweep(
+            n_users=300, n_requests=25_000, seed=seed, jobs=jobs),
     ),
     "population": (
         "population hit-rate sweep (Section 4.4)",
-        lambda seed: run_population_sweep(seed=seed),
-        lambda seed: run_population_sweep(
+        lambda seed, jobs=1: run_population_sweep(seed=seed, jobs=jobs),
+        lambda seed, jobs=1: run_population_sweep(
             populations=(25, 100, 400, 1600),
-            requests_per_user=40, seed=seed),
+            requests_per_user=40, seed=seed, jobs=jobs),
     ),
     "frontend-state": (
         "front-end state accounting (Section 4.4)",
-        lambda seed: run_frontend_state(seed=seed),
-        lambda seed: run_frontend_state(rate_rps=10.0, duration_s=90.0,
-                                        seed=seed),
+        lambda seed, jobs=1: run_frontend_state(seed=seed),
+        lambda seed, jobs=1: run_frontend_state(rate_rps=10.0,
+                                                duration_s=90.0,
+                                                seed=seed),
     ),
     "manager": (
         "manager announcement capacity (Section 4.6)",
-        lambda seed: run_manager_capacity(seed=seed),
-        lambda seed: run_manager_capacity(duration_s=10.0,
-                                          seed=seed),
+        lambda seed, jobs=1: run_manager_capacity(seed=seed),
+        lambda seed, jobs=1: run_manager_capacity(duration_s=10.0,
+                                                  seed=seed),
     ),
     "san": (
         "SAN saturation + utility-network remedy (Section 4.6)",
-        lambda seed: run_san_saturation(seed=seed),
-        lambda seed: run_san_saturation(duration_s=30.0,
-                                        seed=seed),
+        lambda seed, jobs=1: run_san_saturation(seed=seed, jobs=jobs),
+        lambda seed, jobs=1: run_san_saturation(duration_s=30.0,
+                                                seed=seed, jobs=jobs),
     ),
     "faults": (
         "process-peer fault timeline (Section 3.1.3)",
-        lambda seed: run_fault_timeline(seed=seed),
-        lambda seed: run_fault_timeline(rate_rps=10.0,
-                                        seed=seed),
+        lambda seed, jobs=1: run_fault_timeline(seed=seed),
+        lambda seed, jobs=1: run_fault_timeline(rate_rps=10.0,
+                                                seed=seed),
     ),
     "hotbot": (
         "HotBot graceful degradation",
-        lambda seed: run_hotbot_degradation(seed=seed),
-        lambda seed: run_hotbot_degradation(n_nodes=8, n_docs=800,
-                                            seed=seed),
+        lambda seed, jobs=1: run_hotbot_degradation(seed=seed),
+        lambda seed, jobs=1: run_hotbot_degradation(n_nodes=8,
+                                                    n_docs=800,
+                                                    seed=seed),
     ),
     "hotbot-throughput": (
         "HotBot 'millions of queries per day'",
-        lambda seed: run_hotbot_throughput(seed=seed),
-        lambda seed: run_hotbot_throughput(
+        lambda seed, jobs=1: run_hotbot_throughput(seed=seed),
+        lambda seed, jobs=1: run_hotbot_throughput(
             offered_qps=30.0, duration_s=20.0, n_workers=8,
             n_docs=1500, seed=seed),
     ),
     "economics": (
         "economic feasibility (Section 5.2)",
-        lambda seed: run_economics(seed=seed),
-        lambda seed: run_economics(n_users=100, n_requests=5_000,
-                                   seed=seed),
+        lambda seed, jobs=1: run_economics(seed=seed),
+        lambda seed, jobs=1: run_economics(n_users=100,
+                                           n_requests=5_000, seed=seed),
     ),
     "endtoend": (
         "end-to-end latency reduction (the Section 1.1 headline)",
-        lambda seed: run_endtoend(seed=seed),
-        lambda seed: run_endtoend(n_requests=150, seed=seed),
+        lambda seed, jobs=1: run_endtoend(seed=seed),
+        lambda seed, jobs=1: run_endtoend(n_requests=150, seed=seed),
     ),
 }
 
@@ -173,6 +176,11 @@ def build_parser() -> argparse.ArgumentParser:
                             help="master RNG seed (default 1997)")
     run_parser.add_argument("--quick", action="store_true",
                             help="reduced scale for a fast look")
+    run_parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                            help="fan independent simulation units "
+                                 "across N worker processes (output is "
+                                 "byte-identical to --jobs 1; "
+                                 "default 1: serial)")
     run_parser.add_argument("--export", metavar="DIR", default=None,
                             help="also write <DIR>/<name>.json with the "
                                  "raw result data")
@@ -196,6 +204,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="campaign name as a flag (equivalent to the positional)")
     chaos_parser.add_argument("--seed", type=int, default=1997,
                               help="master RNG seed (default 1997)")
+    chaos_parser.add_argument("--runs", type=int, default=1,
+                              metavar="N",
+                              help="run the campaign N times with "
+                                   "derived seeds and report the "
+                                   "batch (default 1)")
+    chaos_parser.add_argument("--jobs", type=int, default=1,
+                              metavar="N",
+                              help="fan batch runs across N worker "
+                                   "processes (byte-identical to "
+                                   "--jobs 1; default 1: serial)")
+    chaos_parser.add_argument("--quiet", action="store_true",
+                              help="suppress the per-run progress "
+                                   "lines on stderr")
     chaos_parser.add_argument("--trace-out", metavar="FILE",
                               default=None,
                               help="record span traces during the "
@@ -248,10 +269,11 @@ def list_experiments() -> str:
 
 
 def run_experiment(name: str, seed: int, quick: bool,
-                   export_dir: Optional[str] = None) -> str:
+                   export_dir: Optional[str] = None,
+                   jobs: int = 1) -> str:
     description, full, fast = EXPERIMENTS[name]
     runner = fast if quick else full
-    result = runner(seed)
+    result = runner(seed, jobs)
     header = f"=== {name}: {description} (seed {seed}) ==="
     text = header + "\n" + _render(result)
     if export_dir is not None:
@@ -259,6 +281,46 @@ def run_experiment(name: str, seed: int, quick: bool,
         path = export_result(name, result, export_dir)
         text += f"\n[exported {path}]"
     return text
+
+
+def _run_names(names, args) -> bool:
+    """Run the selected experiments; returns True if any shard failed.
+
+    With ``--jobs N`` and several experiments, each experiment becomes
+    one shard (the inner sweeps then stay serial so the pool is not
+    nested); a single experiment instead passes ``jobs`` down to its
+    own sweep.  Results print in name order either way.
+    """
+    jobs = getattr(args, "jobs", 1)
+    if jobs > 1 and len(names) > 1:
+        from repro.fanout import ShardSpec, run_sharded
+
+        specs = [
+            ShardSpec(shard_id=f"run[{name}]", fn=run_experiment,
+                      kwargs=dict(name=name, seed=args.seed,
+                                  quick=args.quick,
+                                  export_dir=args.export))
+            for name in names
+        ]
+        sweep = run_sharded(specs, jobs=jobs)
+        for result in sweep.results:
+            if result.ok:
+                print(result.value)
+                print()
+            else:
+                print(f"[{result.shard_id} failed: {result.error}]",
+                      file=sys.stderr)
+        if not sweep.complete:
+            print(f"[harvest {sweep.harvest:.0%}: "
+                  f"{len(sweep.failed)} of {sweep.total} "
+                  f"experiment(s) failed]", file=sys.stderr)
+            return True
+        return False
+    for name in names:
+        print(run_experiment(name, args.seed, args.quick, args.export,
+                             jobs=jobs))
+        print()
+    return False
 
 
 def _finish_tracing(tracers, out_path: str) -> None:
@@ -294,6 +356,10 @@ def chaos_command(args) -> int:
     except KeyError as error:
         print(error.args[0], file=sys.stderr)
         return 2
+    runs = getattr(args, "runs", 1)
+    jobs = getattr(args, "jobs", 1)
+    if runs > 1 or jobs > 1:
+        return _chaos_batch(name, args, runs, jobs)
     if args.trace_out is not None:
         from repro.obs import capture_traces
         with capture_traces(sample_every=args.sample) as tracers:
@@ -304,6 +370,40 @@ def chaos_command(args) -> int:
         report = CampaignRunner(campaign, seed=args.seed).run()
         print(report.render())
     return 0 if report.ok else 1
+
+
+def _chaos_progress(result, n_done: int, n_total: int) -> None:
+    """One line per finished run: shard id, seed, verdict."""
+    if not result.ok:
+        verdict = f"FAILED: {result.error}"
+    elif result.value.ok:
+        verdict = "ok"
+    else:
+        verdict = f"VIOLATIONS({len(result.value.violations)})"
+    print(f"[{n_done}/{n_total}] {result.shard_id}  {verdict}",
+          file=sys.stderr)
+
+
+def _chaos_batch(name: str, args, runs: int, jobs: int) -> int:
+    """Run a campaign batch; nonzero exit if any run failed or any
+    invariant broke."""
+    from repro.chaos import run_campaign_batch
+
+    progress = None if getattr(args, "quiet", False) else _chaos_progress
+    if args.trace_out is not None:
+        from repro.obs import capture_traces
+        with capture_traces(sample_every=args.sample) as tracers:
+            batch = run_campaign_batch(name, master_seed=args.seed,
+                                       runs=runs, jobs=jobs,
+                                       progress=progress)
+        print(batch.render())
+        _finish_tracing(tracers, args.trace_out)
+    else:
+        batch = run_campaign_batch(name, master_seed=args.seed,
+                                   runs=runs, jobs=jobs,
+                                   progress=progress)
+        print(batch.render())
+    return 0 if batch.ok else 1
 
 
 def spans_command(args) -> int:
@@ -413,16 +513,12 @@ def main(argv: Optional[list] = None) -> int:
         if args.trace_out is not None:
             from repro.obs import capture_traces
             with capture_traces(sample_every=args.sample) as tracers:
-                for name in names:
-                    print(run_experiment(name, args.seed, args.quick,
-                                         args.export))
-                    print()
+                any_failed = _run_names(names, args)
             _finish_tracing(tracers, args.trace_out)
         else:
-            for name in names:
-                print(run_experiment(name, args.seed, args.quick,
-                                     args.export))
-                print()
+            any_failed = _run_names(names, args)
+        if any_failed:
+            return 1
     except BrokenPipeError:
         # output piped into e.g. `head`; exit quietly like a good CLI
         return 0

@@ -19,7 +19,7 @@ import math
 from typing import Optional
 
 from repro.sim.rng import Stream
-from repro.tacc.content import Content
+from repro.tacc.content import Content, zero_payload
 from repro.tacc.worker import TACCRequest, Transformer
 
 
@@ -94,7 +94,7 @@ class Distiller(Transformer):
                                               self.codec_bonus)
         predicted = max(64, int(content.size / reduction))
         return content.derive(
-            b"\x00" * predicted,
+            zero_payload(predicted),
             mime=self.simulated_mime or self.produces or content.mime,
             worker=self.worker_type,
             scale=scale,

@@ -11,7 +11,7 @@ keeping the measured bottlenecks exactly the ones the paper varied
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Any, Callable, Dict, Mapping, Optional, Sequence
 
 from repro.core.config import SNSConfig
 from repro.core.fabric import SNSFabric
@@ -20,12 +20,40 @@ from repro.core.manager_stub import DispatchError
 from repro.distillers.jpeg import JpegDistiller
 from repro.sim.cluster import Cluster
 from repro.sim.network import MBPS
-from repro.tacc.content import Content
+from repro.tacc.content import Content, zero_payload
 from repro.tacc.registry import WorkerRegistry
 from repro.tacc.worker import TACCRequest, WorkerError
 
 #: flat per-request cache-hit cost (the resident-original lookup).
 CACHE_HIT_S = 0.027
+
+
+def run_grid(point_fn: Callable[..., Any],
+             points: Sequence[Mapping[str, Any]],
+             jobs: int = 1, *, label: str = "grid",
+             timeout_s: Optional[float] = None, retries: int = 0,
+             progress=None):
+    """Fan the independent grid points of an experiment sweep across
+    worker processes (:mod:`repro.fanout`).
+
+    Each point is one kwargs mapping for the **module-level**
+    ``point_fn``; results come back in point order regardless of
+    completion order, so a sweep assembled from the returned
+    :meth:`~repro.fanout.SweepResult.values` is byte-identical at any
+    ``jobs``.  Grid points must be self-contained (they rebuild any
+    shared input, e.g. a workload trace, from the seed inside the
+    shard) — that is what makes them safe to run anywhere.
+    """
+    from repro.fanout import ShardSpec, run_sharded
+
+    specs = []
+    for index, point in enumerate(points):
+        detail = ",".join(f"{key}={point[key]}" for key in point)
+        specs.append(ShardSpec(
+            shard_id=f"{label}[{index}]({detail})",
+            fn=point_fn, kwargs=dict(point)))
+    return run_sharded(specs, jobs=jobs, timeout_s=timeout_s,
+                       retries=retries, progress=progress)
 
 
 class JpegBenchService:
@@ -45,7 +73,7 @@ class JpegBenchService:
         if trace is not None:
             trace.record("cache-hit", "cache", mark, hit=True)
         content = Content(record.url, record.mime,
-                          b"\x00" * record.size_bytes)
+                          zero_payload(record.size_bytes))
         request = TACCRequest(inputs=[content], params={},
                               user_id=record.client_id)
         expected = self._estimator.work_estimate(request)

@@ -73,23 +73,68 @@ def _population_trace(n_users: int, n_requests: int, seed: int,
     return [(record.url, record.size_bytes) for record in records]
 
 
+def _size_sweep_point(capacity_bytes: int, n_users: int,
+                      n_requests: int, seed: int
+                      ) -> Tuple[float, float, float]:
+    """One cache-size grid point, self-contained for fan-out: rebuild
+    the (deterministic) population trace and run one capacity."""
+    references = _population_trace(n_users, n_requests, seed)
+    simulator = CacheSimulator(capacity_bytes).run(references)
+    return (capacity_bytes / 1e6, simulator.hit_rate,
+            simulator.byte_hit_rate)
+
+
+def _population_sweep_point(population: int, capacity_bytes: int,
+                            requests_per_user: int, seed: int
+                            ) -> Tuple[float, float, float]:
+    """One population grid point, self-contained for fan-out."""
+    references = _population_trace(
+        population, population * requests_per_user, seed)
+    simulator = CacheSimulator(capacity_bytes).run(references)
+    return (float(population), simulator.hit_rate,
+            simulator.byte_hit_rate)
+
+
+def _assemble(points: List[Tuple[float, float, float]],
+              x_label: str) -> CacheStudyResult:
+    return CacheStudyResult(
+        sweep=[(x, hit_rate) for x, hit_rate, _ in points],
+        x_label=x_label,
+        byte_hit_rates={x: byte_rate for x, _, byte_rate in points},
+    )
+
+
 def run_cache_size_sweep(
     capacities_bytes: Sequence[int] = (
         2_000_000, 8_000_000, 32_000_000, 128_000_000, 512_000_000),
     n_users: int = 800,
     n_requests: int = 60_000,
     seed: int = 1997,
+    jobs: int = 1,
 ) -> CacheStudyResult:
-    """Hit rate vs total cache size for a fixed population."""
+    """Hit rate vs total cache size for a fixed population.
+
+    ``jobs > 1`` fans one shard per capacity across worker processes
+    (each regenerates the deterministic trace from the seed); the
+    serial path shares one trace across capacities.  Output is
+    byte-identical either way.
+    """
+    if jobs > 1:
+        from repro.experiments._harness import run_grid
+        points = run_grid(
+            _size_sweep_point,
+            [dict(capacity_bytes=capacity, n_users=n_users,
+                  n_requests=n_requests, seed=seed)
+             for capacity in capacities_bytes],
+            jobs=jobs, label="cache-size").values()
+        return _assemble(points, "cache MB")
     references = _population_trace(n_users, n_requests, seed)
-    sweep = []
-    byte_hit_rates = {}
+    points = []
     for capacity in capacities_bytes:
         simulator = CacheSimulator(capacity).run(references)
-        sweep.append((capacity / 1e6, simulator.hit_rate))
-        byte_hit_rates[capacity / 1e6] = simulator.byte_hit_rate
-    return CacheStudyResult(sweep=sweep, x_label="cache MB",
-                            byte_hit_rates=byte_hit_rates)
+        points.append((capacity / 1e6, simulator.hit_rate,
+                       simulator.byte_hit_rate))
+    return _assemble(points, "cache MB")
 
 
 def run_population_sweep(
@@ -97,20 +142,26 @@ def run_population_sweep(
     capacity_bytes: int = 24_000_000,
     requests_per_user: int = 60,
     seed: int = 1997,
+    jobs: int = 1,
 ) -> CacheStudyResult:
     """Hit rate vs population for a fixed cache size.
 
     Requests scale with population (more users, more traffic over the
     same wall-clock window), which is exactly what makes small
     populations compulsory-miss-bound and large ones capacity-bound.
+    Each population is an independent simulation; ``jobs > 1`` fans
+    them out with byte-identical results.
     """
-    sweep = []
-    byte_hit_rates = {}
-    for population in populations:
-        references = _population_trace(
-            population, population * requests_per_user, seed)
-        simulator = CacheSimulator(capacity_bytes).run(references)
-        sweep.append((float(population), simulator.hit_rate))
-        byte_hit_rates[float(population)] = simulator.byte_hit_rate
-    return CacheStudyResult(sweep=sweep, x_label="users",
-                            byte_hit_rates=byte_hit_rates)
+    points_kwargs = [
+        dict(population=population, capacity_bytes=capacity_bytes,
+             requests_per_user=requests_per_user, seed=seed)
+        for population in populations
+    ]
+    if jobs > 1:
+        from repro.experiments._harness import run_grid
+        points = run_grid(_population_sweep_point, points_kwargs,
+                          jobs=jobs, label="population").values()
+    else:
+        points = [_population_sweep_point(**kwargs)
+                  for kwargs in points_kwargs]
+    return _assemble(points, "users")

@@ -108,7 +108,7 @@ def _run_once(bandwidth_bps: float, rate_rps: float, duration_s: float,
 
 def run_san_saturation(rate_rps: float = 80.0, duration_s: float = 60.0,
                        seed: int = 1997, image_bytes: int = 20480,
-                       include_utility: bool = True
+                       include_utility: bool = True, jobs: int = 1
                        ) -> SanSaturationResult:
     """Drive the same data load over a fast and a slow SAN.
 
@@ -117,13 +117,26 @@ def run_san_saturation(rate_rps: float = 80.0, duration_s: float = 60.0,
     exactly the regime where the unreliable beacons start dropping.
     The third run applies the paper's own proposed remedy: the same
     saturated SAN, with beacons isolated on a utility network.
+
+    The three arms are independent simulations; ``jobs > 1`` fans them
+    across worker processes with byte-identical results.
     """
+    arms = [
+        dict(bandwidth_bps=100 * MBPS, rate_rps=rate_rps,
+             duration_s=duration_s, seed=seed, image_bytes=image_bytes),
+        dict(bandwidth_bps=10 * MBPS, rate_rps=rate_rps,
+             duration_s=duration_s, seed=seed, image_bytes=image_bytes),
+    ]
+    if include_utility:
+        arms.append(dict(arms[1], with_utility_network=True))
+    if jobs > 1:
+        from repro.experiments._harness import run_grid
+        stats = run_grid(_run_once, arms, jobs=jobs,
+                         label="san").values()
+    else:
+        stats = [_run_once(**arm) for arm in arms]
     return SanSaturationResult(
-        fast=_run_once(100 * MBPS, rate_rps, duration_s, seed,
-                       image_bytes),
-        slow=_run_once(10 * MBPS, rate_rps, duration_s, seed,
-                       image_bytes),
-        slow_with_utility=_run_once(
-            10 * MBPS, rate_rps, duration_s, seed, image_bytes,
-            with_utility_network=True) if include_utility else None,
+        fast=stats[0],
+        slow=stats[1],
+        slow_with_utility=stats[2] if include_utility else None,
     )

@@ -1,0 +1,53 @@
+"""Order-independent merge adapters for sharded sweep results.
+
+Shards come back in spec order (:class:`~repro.fanout.shard.SweepResult`
+guarantees it), so merging is a deterministic fold over that order.
+These helpers cover the three aggregate shapes the repo's sweeps
+produce: latency sample pools (via the existing
+:meth:`~repro.analysis.metrics.LatencyStats.merge`), summed counter
+dicts (chaos report folding), and experiment tables assembled row by
+row from per-point values.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterable, List, Optional
+
+from repro.analysis.metrics import LatencyStats
+
+__all__ = ["merge_latency", "sum_counters", "assemble_rows"]
+
+
+def merge_latency(parts: Iterable[Optional[LatencyStats]]
+                  ) -> LatencyStats:
+    """Pool per-shard latency accumulators into one exact summary.
+
+    Built on :meth:`LatencyStats.merge`: samples are pooled, so merged
+    percentiles are exact and independent of shard boundaries or
+    completion order.  ``None`` entries (failed shards) are skipped.
+    """
+    merged = LatencyStats()
+    for part in parts:
+        if part is not None:
+            merged.merge(part)
+    return merged
+
+
+def sum_counters(parts: Iterable[Dict[str, int]]) -> Dict[str, int]:
+    """Fold per-shard counter dicts by summation, keys sorted so the
+    merged dict's iteration order is deterministic."""
+    totals: Dict[str, int] = {}
+    for part in parts:
+        for key, value in part.items():
+            totals[key] = totals.get(key, 0) + value
+    return {key: totals[key] for key in sorted(totals)}
+
+
+def assemble_rows(values: Iterable[Any],
+                  row_fn: Optional[Callable[[Any], Any]] = None
+                  ) -> List[Any]:
+    """Experiment-table assembly: one row per shard value, in shard
+    order (``row_fn`` maps a shard value to its table row)."""
+    if row_fn is None:
+        return list(values)
+    return [row_fn(value) for value in values]

@@ -38,7 +38,13 @@ from repro.obs.export import (
     export_chrome_trace,
     load_chrome_trace,
 )
-from repro.obs.runtime import capture_traces, tracing_settings
+from repro.obs.runtime import (
+    absorb_tracer_states,
+    capture_active,
+    capture_traces,
+    reset_capture,
+    tracing_settings,
+)
 from repro.obs.trace import Span, Tracer, install_tracer
 
 __all__ = [
@@ -46,13 +52,16 @@ __all__ = [
     "CATEGORIES",
     "Span",
     "Tracer",
+    "absorb_tracer_states",
     "attribute_trace",
     "build_attribution_report",
+    "capture_active",
     "capture_traces",
     "critical_path",
     "export_chrome_trace",
     "install_tracer",
     "load_chrome_trace",
     "render_span_tree",
+    "reset_capture",
     "tracing_settings",
 ]

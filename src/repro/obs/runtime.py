@@ -17,10 +17,16 @@ as the rest of the package.
 
 from __future__ import annotations
 
+import re
 from contextlib import contextmanager
 from typing import Any, Dict, Iterator, List, Optional
 
 from repro.obs.trace import Tracer, install_tracer
+
+#: labels attach_to_new_cluster assigned automatically ("cluster-3");
+#: rebuilt fan-out tracers with such labels get renumbered to their
+#: position in the parent's capture list.
+_AUTO_LABEL = re.compile(r"cluster-\d+\Z")
 
 #: while non-None: ``{"sample_every": int, "max_traces": Optional[int],
 #: "tracers": list}`` — consulted by Cluster.__init__ via
@@ -50,6 +56,45 @@ def attach_to_new_cluster(cluster: Any, label: str = "") -> \
         label=label or f"cluster-{index}")
     _ACTIVE["tracers"].append(tracer)
     return tracer
+
+
+def reset_capture() -> None:
+    """Forget any inherited capture state.
+
+    Fan-out worker processes forked mid-``capture_traces`` inherit the
+    parent's hook *and* its accumulated tracer list; they must start
+    from a clean slate (and open their own capture) so shipped spans
+    are exactly the shard's own.
+    """
+    global _ACTIVE
+    _ACTIVE = None
+
+
+def absorb_tracer_states(states: List[Dict[str, Any]]) -> List[Tracer]:
+    """Merge serialized shard tracers into the active capture.
+
+    ``states`` must already be in deterministic (shard) order.  Each is
+    rebuilt detached (:meth:`Tracer.from_state`); automatically assigned
+    ``cluster-N`` labels are renumbered to the tracer's position in the
+    parent's list, which makes the merged capture — and hence the
+    exported trace file — byte-identical to a serial in-process run.
+    Returns the rebuilt tracers (also appended to the capture when one
+    is active).
+    """
+    rebuilt = []
+    for state in states:
+        tracer = Tracer.from_state(state)
+        if _ACTIVE is not None:
+            if tracer.label and _AUTO_LABEL.fullmatch(tracer.label):
+                tracer.label = f"cluster-{len(_ACTIVE['tracers']) + 1}"
+            _ACTIVE["tracers"].append(tracer)
+        rebuilt.append(tracer)
+    return rebuilt
+
+
+def capture_active() -> bool:
+    """True while a :func:`capture_traces` context is armed."""
+    return _ACTIVE is not None
 
 
 @contextmanager

@@ -257,6 +257,62 @@ class Tracer:
         for spans in self.spans.values():
             yield from spans
 
+    # -- cross-process transport (repro.fanout) -----------------------------
+
+    def state(self) -> Dict[str, Any]:
+        """A picklable snapshot of everything exporters read.
+
+        A live tracer drags the whole simulation world behind it
+        (``self.env``); fan-out worker processes instead ship this plain
+        structure back to the parent, which rebuilds detached tracers
+        with :meth:`from_state`.  Span order (per trace, and the trace
+        dict's insertion order) is preserved, so exporting rebuilt
+        tracers is byte-identical to exporting the originals.
+        """
+        return {
+            "label": self.label,
+            "sample_every": self.sample_every,
+            "max_traces": self.max_traces,
+            "requests_seen": self.requests_seen,
+            "requests_sampled": self.requests_sampled,
+            "traces": [
+                (trace_id,
+                 [(span.span_id, span.parent_id, span.name,
+                   span.category, span.component, span.start, span.end,
+                   dict(span.annotations) if span.annotations else None)
+                  for span in spans])
+                for trace_id, spans in self.spans.items()
+            ],
+        }
+
+    @classmethod
+    def from_state(cls, state: Dict[str, Any]) -> "Tracer":
+        """Rebuild a detached tracer (``env is None``) from
+        :meth:`state` output — good for export and attribution, not for
+        recording new spans."""
+        tracer = cls.__new__(cls)
+        tracer.env = None
+        tracer.sample_every = state["sample_every"]
+        tracer.max_traces = state["max_traces"]
+        tracer.label = state["label"]
+        tracer.requests_seen = state["requests_seen"]
+        tracer.requests_sampled = state["requests_sampled"]
+        tracer.spans = {}
+        next_span_id = 0
+        for trace_id, span_rows in state["traces"]:
+            spans = []
+            for (span_id, parent_id, name, category, component, start,
+                 end, annotations) in span_rows:
+                spans.append(Span(
+                    tracer, trace_id, span_id, parent_id, name,
+                    category, component, start, end=end,
+                    annotations=annotations))
+                next_span_id = max(next_span_id, span_id)
+            tracer.spans[trace_id] = spans
+        tracer._next_span_id = next_span_id
+        tracer._pending = _NO_PENDING
+        return tracer
+
 
 def install_tracer(cluster_or_env: Any, sample_every: int = 1,
                    max_traces: Optional[int] = None,

@@ -16,7 +16,7 @@ from __future__ import annotations
 import re
 
 from repro.distillers.base import DistillerLatencyModel, HTML_SLOPE_S_PER_KB
-from repro.tacc.content import MIME_HTML, Content
+from repro.tacc.content import MIME_HTML, Content, zero_payload
 from repro.tacc.worker import TACCRequest, Transformer, WorkerError
 
 MARKUP = '<b style="color:red;font-size:larger">{match}</b>'
@@ -68,7 +68,7 @@ class KeywordFilter(Transformer):
     def simulate(self, request: TACCRequest) -> Content:
         content = request.content
         return content.derive(
-            b"\x00" * int(content.size * 1.02),
+            zero_payload(int(content.size * 1.02)),
             mime=MIME_HTML,
             worker=self.worker_type,
             simulated=True,

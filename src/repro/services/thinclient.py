@@ -19,7 +19,12 @@ import re
 from typing import List
 
 from repro.distillers.base import DistillerLatencyModel, HTML_SLOPE_S_PER_KB
-from repro.tacc.content import Content, MIME_HTML, MIME_PLAIN
+from repro.tacc.content import (
+    Content,
+    MIME_HTML,
+    MIME_PLAIN,
+    zero_payload,
+)
 from repro.tacc.worker import TACCRequest, Transformer, WorkerError
 
 _TAG = re.compile(r"<[^>]+>")
@@ -82,7 +87,7 @@ class ThinClientSimplifier(Transformer):
         content = request.content
         # simplification strips markup: pages shrink substantially
         return content.derive(
-            b"\x00" * max(32, int(content.size * 0.4)),
+            zero_payload(max(32, int(content.size * 0.4))),
             mime=MIME_PLAIN,
             worker=self.worker_type,
             simulated=True,

@@ -18,9 +18,20 @@ from typing import Dict, List, Sequence, TypeVar
 T = TypeVar("T")
 
 
-def _derive_seed(master_seed: int, name: str) -> int:
+def derive_seed(master_seed: int, name: str) -> int:
+    """Deterministic child seed for ``name`` under ``master_seed``.
+
+    The same derivation backs every named stream in the repo — and the
+    per-shard seeds of :mod:`repro.fanout` — so a shard named
+    ``"chaos:smoke:run3"`` draws an independent, reproducible seed no
+    matter which worker process (or how many) executes it.
+    """
     digest = hashlib.sha256(f"{master_seed}:{name}".encode()).digest()
     return int.from_bytes(digest[:8], "big")
+
+
+#: backward-compatible alias (the original private spelling).
+_derive_seed = derive_seed
 
 
 class Stream:

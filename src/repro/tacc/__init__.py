@@ -12,7 +12,12 @@ see ``examples/quickstart.py``) and is also the worker code that the SNS
 layer schedules across the simulated cluster.
 """
 
-from repro.tacc.content import Content, guess_mime
+from repro.tacc.content import (
+    Content,
+    ZeroPayload,
+    guess_mime,
+    zero_payload,
+)
 from repro.tacc.worker import (
     Aggregator,
     TACCRequest,
@@ -51,6 +56,8 @@ __all__ = [
     "WorkerError",
     "WorkerRegistry",
     "WriteThroughCache",
+    "ZeroPayload",
     "check_worker",
     "guess_mime",
+    "zero_payload",
 ]

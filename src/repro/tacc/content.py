@@ -31,6 +31,98 @@ _EXTENSION_MIME = {
 }
 
 
+class ZeroPayload:
+    """Lazy all-zero byte payload for synthetic simulated content.
+
+    The cluster simulation is size-driven: it charges for ``len(data)``
+    but almost never reads the bytes, yet every synthetic payload used
+    to materialize ``b"\\x00" * n`` — hundreds of megabytes of
+    throwaway allocations over a million-request replay.  A
+    ``ZeroPayload`` answers ``len()`` (and size-preserving operations
+    like repetition) without allocating; anything that genuinely needs
+    byte content materializes once and caches.
+
+    Instances compare equal to real all-zero byte strings of the same
+    length, so process-pair output comparison and content equality are
+    unchanged.
+    """
+
+    __slots__ = ("_size", "_data")
+
+    def __init__(self, size: int) -> None:
+        if size < 0:
+            raise ValueError("size must be non-negative")
+        self._size = int(size)
+        self._data = None
+
+    def materialize(self) -> bytes:
+        if self._data is None:
+            self._data = bytes(self._size)
+        return self._data
+
+    def __bytes__(self) -> bytes:
+        return self.materialize()
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __bool__(self) -> bool:
+        return self._size > 0
+
+    def __eq__(self, other: Any) -> bool:
+        if isinstance(other, ZeroPayload):
+            return self._size == other._size
+        if isinstance(other, (bytes, bytearray, memoryview)):
+            return len(other) == self._size and not any(bytes(other))
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self.materialize())
+
+    def __getitem__(self, key: Any) -> Any:
+        if isinstance(key, slice):
+            start, stop, step = key.indices(self._size)
+            if step == 1:
+                return ZeroPayload(max(0, stop - start))
+            return ZeroPayload(len(range(start, stop, step)))
+        if isinstance(key, int):
+            if key < -self._size or key >= self._size:
+                raise IndexError("index out of range")
+            return 0
+        raise TypeError(f"indices must be integers or slices, "
+                        f"not {type(key).__name__}")
+
+    def __iter__(self):
+        return iter(bytes(self._size) if self._data is None
+                    else self._data)
+
+    def __mul__(self, count: int) -> "ZeroPayload":
+        return ZeroPayload(self._size * max(0, int(count)))
+
+    __rmul__ = __mul__
+
+    def __add__(self, other: Any) -> bytes:
+        return self.materialize() + bytes(other)
+
+    def __radd__(self, other: Any) -> bytes:
+        return bytes(other) + self.materialize()
+
+    def decode(self, encoding: str = "utf-8",
+               errors: str = "strict") -> str:
+        return self.materialize().decode(encoding, errors)
+
+    def __reduce__(self):
+        return (ZeroPayload, (self._size,))
+
+    def __repr__(self) -> str:
+        return f"ZeroPayload({self._size})"
+
+
+def zero_payload(size: int) -> ZeroPayload:
+    """A lazy ``size``-byte all-zero payload (see :class:`ZeroPayload`)."""
+    return ZeroPayload(size)
+
+
 def guess_mime(url: str) -> str:
     """MIME type from URL extension, as the trace collector did.
 

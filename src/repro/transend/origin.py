@@ -28,6 +28,7 @@ from repro.tacc.content import (
     MIME_HTML,
     MIME_JPEG,
     Content,
+    zero_payload,
 )
 from repro.workload.trace import TraceRecord
 
@@ -80,7 +81,7 @@ class OriginServer:
         return Content(
             url=record.url,
             mime=record.mime,
-            data=b"\x00" * record.size_bytes,
+            data=zero_payload(record.size_bytes),
             metadata={"origin": "sim"},
         )
 
