@@ -9,10 +9,14 @@ mistaken for a slower kernel.
 
 Fan-out mode (``--fanout``) checks a fresh ``BENCH_fanout.json``:
 the parallel batch must be byte-identical to the serial one
-(unconditionally), and on machines with at least 4 cores the measured
-speedup at 4 jobs must clear the floor.  A smaller machine records
-honest numbers but cannot demonstrate the speedup, so the floor is
-skipped there rather than faked.
+(unconditionally), and when the *runner* has at least 4 cores the
+measured speedup at 4 jobs must clear the floor.  A smaller machine
+records honest numbers but cannot demonstrate the speedup, so the
+floor is skipped there rather than faked.  The skip decision is keyed
+off the gate runner's own core count, never the count recorded in the
+JSON: a measurement file recorded on a smaller machine must not waive
+the floor on a machine that can demonstrate the speedup — it fails the
+gate instead, telling you to regenerate the measurement here.
 
 Usage::
 
@@ -26,6 +30,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from pathlib import Path
 
@@ -47,25 +52,37 @@ def _normalized(payload: dict, path) -> float:
     return _rate(payload, path) / float(payload["calibration_ops_per_sec"])
 
 
-def gate_fanout(path: Path, min_speedup: float, min_cores: int) -> int:
+def gate_fanout(path: Path, min_speedup: float, min_cores: int,
+                runner_cores: int | None = None) -> int:
     payload = json.loads(path.read_text(encoding="utf-8"))
     sweep = payload["sweep"]
-    cpu_count = int(payload.get("cpu_count", 1))
+    recorded_cores = int(payload.get("cpu_count", 1))
+    runner = (runner_cores if runner_cores is not None
+              else os.cpu_count() or 1)
     speedup = float(sweep["speedup"])
     print(f"fanout: {sweep['runs']} x {sweep['campaign']} at "
           f"{sweep['jobs']} jobs -> {speedup:.2f}x "
           f"({sweep['serial_s']:.2f}s serial, "
-          f"{sweep['parallel_s']:.2f}s parallel) on "
-          f"{cpu_count} core(s)")
+          f"{sweep['parallel_s']:.2f}s parallel) recorded on "
+          f"{recorded_cores} core(s); gate runner has {runner}")
     if not sweep["byte_identical"]:
         print("FAIL: parallel output is not byte-identical to serial")
         return 1
     print("byte-identical: ok")
-    if cpu_count < min_cores:
-        print(f"speedup floor skipped: {cpu_count} core(s) < "
+    if runner < min_cores:
+        print(f"speedup floor skipped: runner has {runner} core(s) < "
               f"{min_cores} (cannot demonstrate parallel speedup)")
         print("perf gate passed")
         return 0
+    if recorded_cores < min_cores:
+        # the runner could demonstrate the speedup but the measurement
+        # came from a machine that couldn't — a stale committed file
+        # must not waive the floor here
+        print(f"FAIL: measurement recorded on {recorded_cores} "
+              f"core(s) but this runner has {runner}; regenerate "
+              f"{path.name} on this machine "
+              f"(python -m pytest benchmarks/test_bench_fanout.py)")
+        return 1
     if speedup < min_speedup:
         print(f"FAIL: speedup {speedup:.2f}x below the "
               f"{min_speedup:.2f}x floor")
@@ -93,13 +110,18 @@ def main(argv=None) -> int:
                         help="fan-out speedup floor at 4 jobs "
                              "(default 1.8)")
     parser.add_argument("--min-cores", type=int, default=4,
-                        help="skip the speedup floor below this many "
-                             "cores (default 4)")
+                        help="skip the speedup floor when the runner "
+                             "has fewer cores than this (default 4)")
+    parser.add_argument("--runner-cores", type=int, default=None,
+                        help="override the detected core count of this "
+                             "machine (testing hook; default: "
+                             "os.cpu_count())")
     args = parser.parse_args(argv)
 
     if args.fanout is not None:
         return gate_fanout(args.fanout, args.min_speedup,
-                           args.min_cores)
+                           args.min_cores,
+                           runner_cores=args.runner_cores)
     if args.new is None:
         parser.error("NEW.json is required unless --fanout is given")
 

@@ -30,9 +30,13 @@ from repro.chaos.campaign import (
     CampaignRunner,
     CorruptOutput,
     CrashWorkerNode,
+    FailSlowBrick,
     FailSlowWorker,
+    GrayBrickFault,
     GrayWorkerFault,
+    HangBrick,
     HangWorker,
+    KillBrick,
     KillFrontEnd,
     KillManager,
     KillWorker,
@@ -41,6 +45,7 @@ from repro.chaos.campaign import (
     PartitionWorker,
     RollingKills,
     Straggle,
+    ZombieBrick,
     ZombieWorker,
     get_campaign,
     run_campaign,
@@ -58,11 +63,15 @@ __all__ = [
     "run_campaign_batch",
     "CorruptOutput",
     "CrashWorkerNode",
+    "FailSlowBrick",
     "FailSlowWorker",
+    "GrayBrickFault",
     "GrayWorkerFault",
+    "HangBrick",
     "HangWorker",
     "InvariantChecker",
     "InvariantViolation",
+    "KillBrick",
     "KillFrontEnd",
     "KillManager",
     "KillWorker",
@@ -71,6 +80,7 @@ __all__ = [
     "PartitionWorker",
     "RollingKills",
     "Straggle",
+    "ZombieBrick",
     "ZombieWorker",
     "get_campaign",
     "run_campaign",

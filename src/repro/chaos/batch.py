@@ -35,13 +35,19 @@ __all__ = ["CampaignBatchReport", "batch_seeds", "run_campaign_batch",
            "run_campaign_shard"]
 
 
-def run_campaign_shard(name: str, seed: int) -> ChaosReport:
+def run_campaign_shard(name: str, seed: int,
+                       profile_backend: Optional[str] = None
+                       ) -> ChaosReport:
     """One batch unit: build and run ``name`` under ``seed``.
 
     Module-level so :class:`ShardSpec` can pickle it into worker
-    processes.
+    processes.  ``profile_backend`` overrides the campaign's configured
+    backend (the CLI's ``--profile-backend`` switch).
     """
-    return CampaignRunner(get_campaign(name), seed=seed).run()
+    campaign = get_campaign(name)
+    if profile_backend is not None:
+        campaign.profile_backend = profile_backend
+    return CampaignRunner(campaign, seed=seed).run()
 
 
 def batch_seeds(name: str, master_seed: int, runs: int) -> List[int]:
@@ -174,6 +180,7 @@ class CampaignBatchReport:
 
 def run_campaign_batch(name: str, master_seed: int = 1997,
                        runs: int = 1, jobs: int = 1, *,
+                       profile_backend: Optional[str] = None,
                        timeout_s: Optional[float] = None,
                        retries: int = 0,
                        progress=None) -> CampaignBatchReport:
@@ -188,7 +195,8 @@ def run_campaign_batch(name: str, master_seed: int = 1997,
     seeds = batch_seeds(name, master_seed, runs)
     specs = [
         ShardSpec(shard_id=f"{name}#run{index}:seed={seed}",
-                  fn=run_campaign_shard, args=(name, seed))
+                  fn=run_campaign_shard,
+                  args=(name, seed, profile_backend))
         for index, seed in enumerate(seeds)
     ]
     sweep = run_sharded(specs, jobs=jobs, timeout_s=timeout_s,

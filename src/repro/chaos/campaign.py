@@ -233,6 +233,71 @@ class CorruptOutput(GrayWorkerFault):
 
 
 @dataclass
+class KillBrick(Fault):
+    """kill -9 the profile brick on ``slot`` (dstore backend); the
+    supervisor must notice the corpse and respawn it empty — cheap
+    recovery's whole claim is that this costs a constant, not a replay.
+
+    On the ``single`` backend the same action models the only possible
+    equivalent: the one store goes down for restart **plus WAL replay
+    proportional to committed transactions** — the cost curve the brick
+    design exists to flatten.  The outage is entered into the ledger as
+    an instantly-detected case healed at replay end, so the two
+    backends' MTTR land in the same report column.
+    """
+
+    slot: int = 0
+
+
+@dataclass
+class GrayBrickFault(Fault):
+    """Base for brick gray failures (dstore backend only): the brick
+    stays alive while failing at its job.  Healing is the supervision
+    layer's job, measured by the ledger, never assumed."""
+
+    slot: int = 0
+    kind = "gray"
+
+    def apply(self, brick: Any, now: float) -> None:
+        raise NotImplementedError
+
+
+@dataclass
+class FailSlowBrick(GrayBrickFault):
+    """Inflate one brick's per-op service time without killing it; the
+    supervisor's probe must flag the slow-ratio."""
+
+    factor: float = 8.0
+    kind = "fail-slow"
+
+    def apply(self, brick: Any, now: float) -> None:
+        brick.gray.fail_slow(self.factor, now)
+
+
+@dataclass
+class HangBrick(GrayBrickFault):
+    """The brick stops answering the data plane and probes; quorum
+    reads fall through to its replica peers meanwhile."""
+
+    kind = "hang"
+
+    def apply(self, brick: Any, now: float) -> None:
+        brick.gray.hang(now)
+
+
+@dataclass
+class ZombieBrick(GrayBrickFault):
+    """The brick acks every write and silently drops it while serving
+    stale reads — the failure mode replication is specifically for.
+    Detected by the probe's write-read canary, never by liveness."""
+
+    kind = "zombie"
+
+    def apply(self, brick: Any, now: float) -> None:
+        brick.gray.zombify(now)
+
+
+@dataclass
 class Campaign:
     """A named, reproducible chaos scenario."""
 
@@ -257,6 +322,19 @@ class Campaign:
     #: this policy.  None (the default) runs without a supervisor, as
     #: all the clean-fault campaigns do.
     recovery: Optional[RecoveryPolicy] = None
+    #: profile storage behind the service: None keeps the classic
+    #: profile-less bench service (every existing campaign unchanged),
+    #: "single" is the WAL-backed ProfileStore, "dstore" the replicated
+    #: brick cluster.
+    profile_backend: Optional[str] = None
+    n_bricks: int = 3
+    brick_replicas: int = 2
+    #: period of the deterministic profile-writer client (only runs
+    #: when a backend is configured).
+    profile_write_interval_s: float = 1.0
+    #: minimum profile read availability; checked as an invariant when
+    #: set (reads during brick faults must be masked by the quorum).
+    profile_read_slo: Optional[float] = None
 
     @property
     def final_heal_s(self) -> float:
@@ -308,7 +386,10 @@ class CampaignRunner:
         self.seed = seed
         self.fabric = build_bench_fabric(
             n_nodes=campaign.n_nodes, seed=seed,
-            config=chaos_config(**campaign.config_overrides))
+            config=chaos_config(**campaign.config_overrides),
+            profile_backend=campaign.profile_backend,
+            n_bricks=campaign.n_bricks,
+            brick_replicas=campaign.brick_replicas)
         self.cluster = self.fabric.cluster
         self.env = self.cluster.env
         self.faults = self.cluster.network.install_faults(
@@ -321,8 +402,15 @@ class CampaignRunner:
             rng=RandomStreams(seed).stream("chaos:playback"),
             timeout_s=campaign.client_timeout_s)
         self.ledger = RecoveryLedger(self.env)
+        if self.fabric.profile_bricks is not None:
+            # rejoin records flow into the same ledger the report reads
+            self.fabric.profile_bricks.ledger = self.ledger
         self.supervisor: Optional[Any] = None
         self._straggled: List[Any] = []
+        #: deterministic profile-writer counters (attempted includes
+        #: writes refused while the single store is down).
+        self.profile_writes = {"attempted": 0, "committed": 0,
+                               "failed": 0}
 
     # -- target selection (resolved at fire time: populations churn) -----
 
@@ -415,8 +503,119 @@ class CampaignRunner:
                 self._alive_workers, start=action.at,
                 period_s=action.period_s,
                 stop_at=action.at + action.duration_s)
+        elif isinstance(action, KillBrick):
+            def kill_brick(action=action):
+                bricks = self.fabric.profile_bricks
+                if bricks is not None:
+                    brick = bricks.brick_at(action.slot)
+                    if brick is not None and brick.alive:
+                        self.ledger.inject("brick-kill", brick.name)
+                        self.injector.kill_now(brick)
+                elif self.fabric.profile_store is not None:
+                    self._kill_single_store()
+            self._at(action.at, kill_brick)
+        elif isinstance(action, GrayBrickFault):
+            def inject_brick_gray(action=action):
+                bricks = self.fabric.profile_bricks
+                if bricks is None:
+                    return  # single backend has no gray surface
+                brick = bricks.brick_at(action.slot)
+                if brick is None or not brick.alive \
+                        or brick.gray.is_gray:
+                    return
+                now = self.env.now
+                action.apply(brick, now)
+                self.injector.log.append(
+                    FaultRecord(now, action.kind, brick.name))
+                self.ledger.inject(action.kind, brick.name)
+            self._at(action.at, inject_brick_gray)
         else:
             raise TypeError(f"unknown campaign action {action!r}")
+
+    def _kill_single_store(self) -> None:
+        """Single-backend equivalent of a brick kill: the one store is
+        down for restart **plus WAL replay proportional to committed
+        transactions**.  The outage enters the ledger as an instantly
+        detected case healed at replay end, so both backends' MTTR land
+        in the same report column."""
+        from repro.experiments._harness import (SINGLE_REPLAY_PER_TXN_S,
+                                                SINGLE_RESTART_S)
+        store = self.fabric.profile_store
+        service = self.fabric.service
+        now = self.env.now
+        outage = SINGLE_RESTART_S + \
+            SINGLE_REPLAY_PER_TXN_S * store.commits
+        service.store_down_until = max(service.store_down_until,
+                                       now + outage)
+        self.injector.log.append(
+            FaultRecord(now, "store-kill", "profile-store"))
+        case = self.ledger.inject("brick-kill", "profile-store")
+        case.detected_at = now
+        case.detector = "restart-watchdog"
+        case.detail = f"WAL replay of {store.commits} txns"
+        self._at(now + outage,
+                 lambda: self.ledger.note_healed(
+                     case, "restart+replay", "profile-store"))
+
+    # -- profile write load ------------------------------------------------
+
+    def _profile_writer(self):
+        """Deterministic profile-write client: round-robins users and
+        front ends so the committed-write-loss invariant has state
+        worth losing.  Versioned-tombstone deletes are part of the mix
+        (every 10th op)."""
+        from repro.dstore.store import QuorumError
+        campaign = self.campaign
+        service = self.fabric.service
+        counter = 0
+        while self.env.now + campaign.profile_write_interval_s \
+                < campaign.duration_s:
+            yield self.env.timeout(campaign.profile_write_interval_s)
+            frontends = sorted(self.fabric.alive_frontends(),
+                               key=lambda fe: fe.name)
+            if not frontends:
+                continue
+            cache = service.profile_cache_for(
+                frontends[counter % len(frontends)].name)
+            user = f"client{counter % 40}"
+            self.profile_writes["attempted"] += 1
+            if not service.store_available:
+                self.profile_writes["failed"] += 1
+            else:
+                try:
+                    if counter % 10 == 9:
+                        cache.delete(user, "quality")
+                    elif counter % 3 == 0:
+                        cache.set(user, "scale",
+                                  round(0.1 + (counter % 9) / 10.0, 1))
+                    else:
+                        cache.set(user, "quality",
+                                  5 + (counter * 7) % 90)
+                    self.profile_writes["committed"] += 1
+                except QuorumError:
+                    self.profile_writes["failed"] += 1
+            counter += 1
+
+    def _profile_results(self) -> Dict[str, Any]:
+        """Final profile-path verification + numbers for the report."""
+        service = self.fabric.service
+        store = self.fabric.profile_store
+        lost = self.checker.final_profile_checks(
+            store, service, read_slo=self.campaign.profile_read_slo)
+        results = {
+            "backend": self.campaign.profile_backend,
+            "reads": service.profile_reads,
+            "read_failures": service.profile_read_failures,
+            "read_availability": service.profile_read_availability,
+            "writes": dict(self.profile_writes),
+            "lost_writes": lost,
+            "store": (store.stats() if hasattr(store, "stats")
+                      else {"commits": store.commits,
+                            "aborts": store.aborts}),
+        }
+        if self.fabric.profile_bricks is not None:
+            results["bricks"] = self.fabric.profile_bricks.stats()
+        return results
 
     # -- execution ---------------------------------------------------------------
 
@@ -438,6 +637,8 @@ class CampaignRunner:
         ]
         self.env.process(self.engine.constant_rate(
             campaign.rate_rps, campaign.duration_s, pool))
+        if campaign.profile_backend is not None:
+            self.env.process(self._profile_writer())
 
         for action in campaign.actions:
             self._arm(action)
@@ -455,11 +656,14 @@ class CampaignRunner:
             max_latency_s=(campaign.slo_latency_s
                            if campaign.slo_latency_s is not None
                            else campaign.client_timeout_s))
+        profile = (self._profile_results()
+                   if campaign.profile_backend is not None else None)
         return build_report(
             campaign=campaign, seed=self.seed, fabric=self.fabric,
             engine=self.engine, checker=self.checker,
             injector=self.injector, faults=self.faults,
-            ledger=self.ledger, supervisor=self.supervisor)
+            ledger=self.ledger, supervisor=self.supervisor,
+            profile=profile)
 
 
 def run_campaign(campaign: Campaign, seed: int = 1997) -> ChaosReport:
@@ -623,6 +827,97 @@ def _gray_smoke() -> Campaign:
     )
 
 
+def _brick_failures() -> Campaign:
+    """The cheap-recovery acceptance scenario: kill and gray-fail
+    profile bricks under live read+write load.  The invariants: zero
+    committed profile writes lost (quorum overlap + authority protocol)
+    and read availability ≥ 0.99 (faults masked by replica peers).
+    Faults are spaced so anti-entropy finishes between them — two
+    *overlapping* replica losses in an N=3/R=2 placement may lose the
+    single surviving copy by design (that is the R=2 contract, not a
+    bug)."""
+    return Campaign(
+        name="brick-failures",
+        description="brick kill -9 x2 + fail-slow + zombie + hang "
+                    "against the replicated profile store (N=3, R=2) "
+                    "under supervision; zero committed-write loss and "
+                    "0.99 read availability are invariants",
+        duration_s=120.0,
+        actions=[
+            KillBrick(at=10.0, slot=0),
+            FailSlowBrick(at=35.0, slot=1, factor=8.0),
+            KillBrick(at=55.0, slot=2),
+            ZombieBrick(at=75.0, slot=1),
+            HangBrick(at=90.0, slot=0),
+        ],
+        rate_rps=12.0,
+        n_nodes=10,
+        n_frontends=2,
+        initial_workers=3,
+        settle_s=25.0,
+        recovery=RecoveryPolicy(),
+        profile_backend="dstore",
+        n_bricks=3,
+        brick_replicas=2,
+        profile_write_interval_s=0.8,
+        profile_read_slo=0.99,
+    )
+
+
+def _brick_smoke() -> Campaign:
+    """Reduced brick-failure campaign for the CI gate."""
+    return Campaign(
+        name="brick-smoke",
+        description="brick kill + fail-slow + zombie under supervision "
+                    "(reduced duration; the CI gate for committed-write "
+                    "loss)",
+        duration_s=70.0,
+        actions=[
+            KillBrick(at=8.0, slot=0),
+            FailSlowBrick(at=25.0, slot=1, factor=8.0),
+            ZombieBrick(at=40.0, slot=2),
+        ],
+        rate_rps=10.0,
+        n_nodes=8,
+        n_frontends=2,
+        initial_workers=3,
+        settle_s=20.0,
+        recovery=RecoveryPolicy(),
+        profile_backend="dstore",
+        n_bricks=3,
+        brick_replicas=2,
+        profile_write_interval_s=0.8,
+        profile_read_slo=0.99,
+    )
+
+
+def _brick_failures_single() -> Campaign:
+    """The comparison baseline: the same kill schedule against the
+    single WAL-backed store.  Each kill takes the whole profile path
+    down for restart + replay proportional to the commit count, so
+    MTTR grows with log length and read availability dips — the exact
+    numbers EXPERIMENTS.md tables against the dstore run."""
+    return Campaign(
+        name="brick-failures-single",
+        description="the brick-failures kill schedule against the "
+                    "single-node WAL store: outage = restart + replay "
+                    "of the whole log (the cost cheap recovery "
+                    "flattens)",
+        duration_s=120.0,
+        actions=[
+            KillBrick(at=10.0),
+            KillBrick(at=55.0),
+        ],
+        rate_rps=12.0,
+        n_nodes=10,
+        n_frontends=2,
+        initial_workers=3,
+        settle_s=25.0,
+        profile_backend="single",
+        profile_write_interval_s=0.8,
+    )
+
+
 #: name -> zero-argument factory returning a fresh Campaign.
 CAMPAIGNS: Dict[str, Callable[[], Campaign]] = {
     "smoke": _smoke,
@@ -634,6 +929,9 @@ CAMPAIGNS: Dict[str, Callable[[], Campaign]] = {
     "crash-restart": _crash_restart,
     "gray-failures": _gray_failures,
     "gray-smoke": _gray_smoke,
+    "brick-failures": _brick_failures,
+    "brick-smoke": _brick_smoke,
+    "brick-failures-single": _brick_failures_single,
 }
 
 

@@ -236,3 +236,43 @@ class InvariantChecker:
                 f"completion took {worst:.2f}s, past the "
                 f"{max_latency_s:.2f}s client deadline",
                 trace_id=getattr(offender, "trace_id", None))
+
+    # -- profile durability and availability ---------------------------------
+
+    def final_profile_checks(self, store: Any, service: Any,
+                             read_slo: Optional[float] = None
+                             ) -> List[Dict[str, Any]]:
+        """End-of-run profile-path assertions.
+
+        **committed-write-loss** — every cell the coordinator reported
+        committed must still be readable at its committed (or newer)
+        version once the campaign settles; anything unavailable, absent,
+        or stale is a durability violation, the one result a replicated
+        store exists to prevent.  Checked through the store's own
+        ``verify_committed`` oracle when it has one (the single WAL
+        store can't lose acknowledged commits in this model, so it
+        vacuously passes).
+
+        **profile-read-availability** — when the campaign set an SLO,
+        the fraction of profile reads answered must meet it: replica
+        peers masking brick faults is the availability claim.
+
+        Returns the list of lost-write reports for the chaos report.
+        """
+        verify = getattr(store, "verify_committed", None)
+        lost: List[Dict[str, Any]] = verify() if verify else []
+        for report in lost:
+            self.violation(
+                "committed-write-loss",
+                f"committed cell {report['user']}/{report['key']} "
+                f"v{report['version']} {report['reason']} after settle")
+        if read_slo is not None:
+            availability = service.profile_read_availability
+            if availability < read_slo - 1e-12:
+                self.violation(
+                    "profile-read-availability",
+                    f"profile reads {availability:.4f} available, "
+                    f"below the {read_slo:.2f} SLO "
+                    f"({service.profile_read_failures} of "
+                    f"{service.profile_reads} failed)")
+        return lost

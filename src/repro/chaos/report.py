@@ -53,6 +53,10 @@ class ChaosReport:
     recovery_cases: List[Any] = field(default_factory=list)
     #: RecoveryLedger.summary() numbers: MTTD/MTTR, availability...
     recovery_summary: Dict[str, Any] = field(default_factory=dict)
+    #: profile-path results when the campaign ran a profile backend:
+    #: reads/availability, write counters, lost committed cells (the
+    #: durability invariant), store stats, brick stats with rejoins.
+    profile: Dict[str, Any] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -169,6 +173,40 @@ class ChaosReport:
             if summary.get("rejuvenations"):
                 lines.append(f"           rejuvenations: "
                              f"{summary['rejuvenations']}")
+            if summary.get("rejoins"):
+                lines.append(
+                    f"           brick rejoins: {summary['rejoins']}, "
+                    f"{summary['rejoin_mean_s']:.1f}s mean / "
+                    f"{summary['rejoin_max_s']:.1f}s max to serving")
+        if self.profile:
+            profile = self.profile
+            writes = profile.get("writes", {})
+            lines.append(
+                f"profile    backend={profile['backend']}  "
+                f"reads {profile['reads']} "
+                f"(availability {profile['read_availability']:.4f})  "
+                f"writes {writes.get('committed', 0)}/"
+                f"{writes.get('attempted', 0)} committed")
+            lost = profile.get("lost_writes") or []
+            if lost:
+                lines.append(
+                    f"           COMMITTED WRITES LOST: {len(lost)}")
+            else:
+                committed = profile.get("store", {}).get(
+                    "committed_cells",
+                    profile.get("store", {}).get("commits", 0))
+                lines.append(
+                    f"           committed-write loss: 0 "
+                    f"(all {committed} committed cells verified)")
+            for record in profile.get("bricks", {}).get("rejoins", []):
+                sync = (f"synced +{record['sync_s']:.1f}s"
+                        if record.get("sync_s") is not None
+                        else "sync pending")
+                lines.append(
+                    f"           rejoin {record['brick']}: serving "
+                    f"+{record['rejoin_s']:.1f}s "
+                    f"({record['cells_at_kill']} cells at kill), "
+                    f"{sync}")
         lines.append("faults     " + (", ".join(
             f"{record.kind} {record.target} @ {record.time:.0f}s"
             for record in self.fault_timeline) or "none recorded"))
@@ -199,8 +237,9 @@ class ChaosReport:
 
 def build_report(campaign: Any, seed: int, fabric: Any, engine: Any,
                  checker: Any, injector: Any, faults: Any,
-                 ledger: Any = None,
-                 supervisor: Any = None) -> ChaosReport:
+                 ledger: Any = None, supervisor: Any = None,
+                 profile: Optional[Dict[str, Any]] = None
+                 ) -> ChaosReport:
     """Assemble the report from a finished campaign's pieces."""
     beacon_s = fabric.config.beacon_interval_s
     series = harvest_yield_series(engine.outcomes, bucket_s=beacon_s)
@@ -240,11 +279,17 @@ def build_report(campaign: Any, seed: int, fabric: Any, engine: Any,
     recovery_cases: List[Any] = []
     recovery_summary: Dict[str, Any] = {}
     if ledger is not None and (ledger.cases or ledger.false_alarms
-                               or ledger.rejuvenations):
+                               or ledger.rejuvenations
+                               or ledger.rejoins):
         recovery_cases = list(ledger.cases)
+        # brick campaigns widen the availability denominator: the
+        # population under fault is workers plus bricks
+        n_bricks = (campaign.n_bricks
+                    if getattr(campaign, "profile_backend", None)
+                    == "dstore" else 0)
         recovery_summary = ledger.summary(
             campaign.duration_s,
-            population=max(1, campaign.initial_workers))
+            population=max(1, campaign.initial_workers + n_bricks))
     spawn_log = list(manager.spawn_failure_log) if manager else []
     latency_stats = LatencyStats.from_samples(engine.latencies())
     return ChaosReport(
@@ -266,4 +311,5 @@ def build_report(campaign: Any, seed: int, fabric: Any, engine: Any,
         latency_stats=latency_stats,
         recovery_cases=recovery_cases,
         recovery_summary=recovery_summary,
+        profile=profile or {},
     )

@@ -214,6 +214,13 @@ def build_parser() -> argparse.ArgumentParser:
                               help="fan batch runs across N worker "
                                    "processes (byte-identical to "
                                    "--jobs 1; default 1: serial)")
+    chaos_parser.add_argument("--profile-backend", default=None,
+                              choices=["single", "dstore"],
+                              help="override the campaign's profile "
+                                   "store: 'single' (WAL store) or "
+                                   "'dstore' (replicated bricks); "
+                                   "default: the campaign's own "
+                                   "setting")
     chaos_parser.add_argument("--quiet", action="store_true",
                               help="suppress the per-run progress "
                                    "lines on stderr")
@@ -356,6 +363,9 @@ def chaos_command(args) -> int:
     except KeyError as error:
         print(error.args[0], file=sys.stderr)
         return 2
+    backend = getattr(args, "profile_backend", None)
+    if backend is not None:
+        campaign.profile_backend = backend
     runs = getattr(args, "runs", 1)
     jobs = getattr(args, "jobs", 1)
     if runs > 1 or jobs > 1:
@@ -390,17 +400,20 @@ def _chaos_batch(name: str, args, runs: int, jobs: int) -> int:
     from repro.chaos import run_campaign_batch
 
     progress = None if getattr(args, "quiet", False) else _chaos_progress
+    backend = getattr(args, "profile_backend", None)
     if args.trace_out is not None:
         from repro.obs import capture_traces
         with capture_traces(sample_every=args.sample) as tracers:
             batch = run_campaign_batch(name, master_seed=args.seed,
                                        runs=runs, jobs=jobs,
+                                       profile_backend=backend,
                                        progress=progress)
         print(batch.render())
         _finish_tracing(tracers, args.trace_out)
     else:
         batch = run_campaign_batch(name, master_seed=args.seed,
                                    runs=runs, jobs=jobs,
+                                   profile_backend=backend,
                                    progress=progress)
         print(batch.render())
     return 0 if batch.ok else 1

@@ -69,6 +69,12 @@ class SNSFabric:
         self.frontend_restarts = 0
         #: self-healing supervision layer (repro.recovery); opt-in.
         self.supervisor: Optional[Any] = None
+        #: profile storage, when the deployment carries one: the store
+        #: facade the service reads, and — for the dstore backend — the
+        #: BrickCluster behind it (chaos and supervision reach bricks
+        #: through here).
+        self.profile_store: Optional[Any] = None
+        self.profile_bricks: Optional[Any] = None
 
     # -- placement helpers ---------------------------------------------------
 
@@ -229,6 +235,13 @@ class SNSFabric:
             if stub.alive and (worker_type is None
                                or stub.worker_type == worker_type)
         ]
+
+    def brick_population(self) -> Dict[str, Any]:
+        """Current brick incarnations by name (empty without dstore);
+        the supervisor probes these alongside workers."""
+        if self.profile_bricks is None:
+            return {}
+        return self.profile_bricks.population()
 
     # -- monitor ---------------------------------------------------------------------------
 

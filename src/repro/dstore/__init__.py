@@ -1,0 +1,36 @@
+"""DStore-style replicated cluster hash table for the profile store.
+
+The paper keeps one hard-state component — the ACID customization
+database (§2.3).  This package replaces that single point of failure
+with the design of its direct descendant, "Cheap Recovery: A Key to
+Self-Managing State" (Huang & Fox): partitioned, replicated in-memory
+bricks with quorum reads/writes and constant-time amnesiac rejoin.
+
+* :mod:`repro.dstore.partition` — key -> partition -> replica slots;
+* :mod:`repro.dstore.brick` — one brick: versioned cells, authority
+  protocol, gray-failure surface;
+* :mod:`repro.dstore.cluster` — membership, cheap rejoin, anti-entropy;
+* :mod:`repro.dstore.store` — the quorum coordinator, a drop-in
+  :class:`~repro.tacc.customization.ProfileStore` replacement.
+"""
+
+from repro.dstore.brick import BRICK_OP_S, Brick, TOMBSTONE
+from repro.dstore.cluster import BRICK_SPAWN_S, BrickCluster
+from repro.dstore.partition import Partitioner
+from repro.dstore.store import (
+    QuorumError,
+    ReadUnavailable,
+    ReplicatedProfileStore,
+)
+
+__all__ = [
+    "BRICK_OP_S",
+    "BRICK_SPAWN_S",
+    "Brick",
+    "BrickCluster",
+    "Partitioner",
+    "QuorumError",
+    "ReadUnavailable",
+    "ReplicatedProfileStore",
+    "TOMBSTONE",
+]

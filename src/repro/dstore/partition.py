@@ -1,0 +1,56 @@
+"""Hash partitioning with R-way replica placement for the brick store.
+
+The profile keyspace (user ids) is hashed onto a fixed ring of
+``n_partitions`` partitions; each partition is replicated on ``replicas``
+consecutive brick *slots* (DStore's replica groups — "Cheap Recovery",
+PAPERS.md).  Slots are stable identities: a brick process that dies and
+restarts occupies the same slot, so placement never moves data around —
+exactly the property that makes recovery cheap (the rejoining brick
+knows which partitions it owns before it holds a single byte of them).
+
+The hash is :func:`hashlib.md5` over the key bytes, **not** Python's
+builtin ``hash``: the builtin is salted per process, and partition
+placement must be identical across the fan-out runner's worker
+processes for ``--jobs N`` output to stay byte-identical to serial.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import List
+
+
+class Partitioner:
+    """Stable key -> partition -> replica-slot placement."""
+
+    def __init__(self, n_bricks: int, replicas: int = 2,
+                 n_partitions: int = 16) -> None:
+        if n_bricks < 1:
+            raise ValueError("need at least one brick")
+        if not 1 <= replicas <= n_bricks:
+            raise ValueError("replicas must be in [1, n_bricks]")
+        if n_partitions < 1:
+            raise ValueError("need at least one partition")
+        self.n_bricks = n_bricks
+        self.replicas = replicas
+        self.n_partitions = n_partitions
+
+    def partition_of(self, key: str) -> int:
+        digest = hashlib.md5(key.encode("utf-8")).digest()
+        return int.from_bytes(digest[:8], "big") % self.n_partitions
+
+    def slots_of(self, partition: int) -> List[int]:
+        """The replica slots hosting ``partition``, preference order."""
+        if not 0 <= partition < self.n_partitions:
+            raise ValueError(f"no such partition {partition}")
+        first = partition % self.n_bricks
+        return [(first + offset) % self.n_bricks
+                for offset in range(self.replicas)]
+
+    def replica_slots(self, key: str) -> List[int]:
+        return self.slots_of(self.partition_of(key))
+
+    def partitions_of_slot(self, slot: int) -> List[int]:
+        """Every partition replicated on brick slot ``slot``."""
+        return [partition for partition in range(self.n_partitions)
+                if slot in self.slots_of(partition)]

@@ -1,0 +1,319 @@
+"""The quorum coordinator: a drop-in ProfileStore over brick replicas.
+
+:class:`ReplicatedProfileStore` speaks the exact surface of
+:class:`repro.tacc.customization.ProfileStore` — ``get`` / ``set`` /
+``delete`` / ``begin()`` transactions / ``recover`` / ``checkpoint`` —
+so the front end's :class:`~repro.tacc.customization.WriteThroughCache`,
+TranSend's profile plumbing, and every service sit on either backend
+unchanged.  Underneath, each user's profile lives as versioned cells on
+``R`` replica bricks (:mod:`repro.dstore.partition`), and the ACID
+guarantees narrow to DStore's: atomic *per key*, not per transaction —
+the store is a cluster hash table, not a database (Huang & Fox; the
+paper's §2.3 database remains available as the ``single`` backend).
+
+**Writes** stamp every cell from the cluster-wide version clock and push
+to all replicas of the user's partition; commit requires acks from
+``write_quorum`` replicas (default: all ``R``), relaxed to
+"every responsive replica, at least one" while peers are down — such
+commits are counted ``degraded_writes``.  Zero acks raises
+:class:`QuorumError` and nothing is recorded as committed.
+
+**Reads** consult every replica and merge cells by highest version, so
+one surviving up-to-date copy is enough (W + RQ > R with RQ = 1;
+reading all responsive replicas instead of exactly RQ buys freshness
+against zombies and drives repair).  Replicas that answered stale,
+missing, or "recovering — unknown" get the merged result pushed back
+(**read-repair**), which is how a rejoined amnesiac brick becomes
+authoritative for hot users long before the anti-entropy sweep reaches
+their partition.  No authoritative copy reachable raises
+:class:`ReadUnavailable` — the availability number chaos campaigns
+score.
+
+The coordinator keeps the **committed-cells log**: every quorum-acked
+``(user, key) -> (version, value)``.  It exists purely as the oracle for
+the chaos invariant "no committed write is ever lost" — after a
+campaign, every entry must still be readable at ``>=`` that version.
+
+Data-plane calls are synchronous (same rationale as supervisor probes:
+the SAN is stateful, and brick traffic riding it would perturb request
+scheduling and break fault-free determinism).  Each call prices itself
+analytically into :attr:`last_op_cost_s` — per-replica hop RTT plus the
+brick's gray-inflated service time, plus a timeout charge per
+unresponsive replica — which the service layer turns into simulated
+latency and span annotations.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.dstore.brick import TOMBSTONE, Cell
+from repro.dstore.cluster import BrickCluster
+from repro.tacc.customization import (
+    Transaction,
+    TransactionError,
+    _TOMBSTONE,
+)
+
+#: one coordinator->brick hop (SAN round trip, analytic).
+QUORUM_HOP_S = 0.001
+
+#: charge for giving up on an unresponsive (hung/dead-node) replica.
+BRICK_TIMEOUT_S = 0.05
+
+
+class QuorumError(Exception):
+    """A write could not reach its ack quorum; nothing was committed."""
+
+
+class ReadUnavailable(Exception):
+    """No authoritative replica reachable for this user right now."""
+
+
+class ReplicatedProfileStore:
+    """ProfileStore facade over a :class:`BrickCluster` (quorum R/W)."""
+
+    def __init__(self, bricks: BrickCluster,
+                 write_quorum: Optional[int] = None,
+                 validator: Optional[Callable[[str, str, Any],
+                                              None]] = None) -> None:
+        self.bricks = bricks
+        self.partitioner = bricks.partitioner
+        self.write_quorum = (bricks.replicas if write_quorum is None
+                             else write_quorum)
+        if not 1 <= self.write_quorum <= bricks.replicas:
+            raise ValueError("write_quorum must be in [1, replicas]")
+        self._validator = validator
+        #: the invariant oracle: every quorum-acked cell ever committed.
+        self.committed: Dict[Tuple[str, str], Cell] = {}
+        self._open_tx: Optional[Transaction] = None
+        self._next_tx = 1
+        # ProfileStore-surface compatibility
+        self.log_path: Optional[str] = None
+        self.generation = 0
+        self.commits = 0
+        self.aborts = 0
+        # quorum counters
+        self.quorum_reads = 0
+        self.quorum_writes = 0
+        self.degraded_writes = 0
+        self.failed_writes = 0
+        self.unavailable_reads = 0
+        self.read_repairs = 0
+        #: analytic price of the most recent read/write, for the
+        #: service layer to charge as simulated time.
+        self.last_op_cost_s = 0.0
+        self.last_op_hops = 0
+
+    # -- reads ---------------------------------------------------------------
+
+    def get(self, user_id: str) -> Dict[str, Any]:
+        """A copy of the user's merged profile (quorum read)."""
+        merged = self._quorum_read(user_id)
+        return {key: value for key, (_, value) in merged.items()
+                if value != TOMBSTONE}
+
+    def get_value(self, user_id: str, key: str, default: Any = None) -> Any:
+        merged = self._quorum_read(user_id)
+        cell = merged.get(key)
+        if cell is None or cell[1] == TOMBSTONE:
+            return default
+        return cell[1]
+
+    def users(self) -> List[str]:
+        """Users with at least one committed live cell (oracle view —
+        membership is coordinator state, not a cluster scan)."""
+        live = set()
+        for (user_id, _key), (_version, value) in self.committed.items():
+            if value != TOMBSTONE:
+                live.add(user_id)
+        return sorted(live)
+
+    def __contains__(self, user_id: str) -> bool:
+        return any(user == user_id and value != TOMBSTONE
+                   for (user, _), (_, value) in self.committed.items())
+
+    def _quorum_read(self, user_id: str) -> Dict[str, Cell]:
+        partition = self.partitioner.partition_of(user_id)
+        cost = 0.0
+        hops = 0
+        #: (brick, cells-or-None-for-recovering) from responsive replicas
+        answers = []
+        for slot in self.partitioner.slots_of(partition):
+            brick = self.bricks.brick_at(slot)
+            if brick is None or not brick.alive:
+                continue
+            hops += 1
+            if not brick.responsive:
+                cost += BRICK_TIMEOUT_S
+                continue
+            cost += QUORUM_HOP_S + brick.service_s()
+            answers.append((brick, brick.read_user(partition, user_id)))
+        self.quorum_reads += 1
+        self.last_op_cost_s = cost
+        self.last_op_hops = hops
+        authoritative = [cells for _, cells in answers
+                         if cells is not None]
+        if not authoritative:
+            self.unavailable_reads += 1
+            raise ReadUnavailable(user_id)
+        merged: Dict[str, Cell] = {}
+        for cells in authoritative:
+            for key, (version, value) in cells.items():
+                current = merged.get(key)
+                if current is None or current[0] < version:
+                    merged[key] = (version, value)
+        for brick, cells in answers:
+            if cells is None or any(
+                    key not in cells or cells[key][0] < version
+                    for key, (version, _) in merged.items()):
+                brick.apply_repair(partition, user_id, dict(merged))
+                self.read_repairs += 1
+        return merged
+
+    # -- writes --------------------------------------------------------------
+
+    def begin(self) -> Transaction:
+        if self._open_tx is not None:
+            raise TransactionError("a transaction is already open "
+                                   "(single-writer store)")
+        tx = Transaction(self, self._next_tx)
+        self._next_tx += 1
+        self._open_tx = tx
+        return tx
+
+    def set(self, user_id: str, key: str, value: Any) -> None:
+        with self.begin() as tx:
+            tx.set(user_id, key, value)
+
+    def delete(self, user_id: str, key: str) -> None:
+        with self.begin() as tx:
+            tx.delete(user_id, key)
+
+    def _validate(self, user_id: str, key: str, value: Any) -> None:
+        try:
+            json.dumps(value)
+        except (TypeError, ValueError) as error:
+            raise TransactionError(
+                f"value for {user_id}/{key} is not JSON-serializable"
+            ) from error
+        if self._validator is not None:
+            self._validator(user_id, key, value)
+
+    def _commit(self, tx: Transaction) -> None:
+        """Push the batch to replicas, user by user.
+
+        Each user's cells commit (enter the oracle) the moment their
+        quorum acks — atomicity is per key, so an ack failure on a
+        later user raises :class:`QuorumError` without undoing earlier
+        users.  That is DStore's contract, weaker than the single-node
+        store's transactions; services that need cross-key atomicity
+        keep the ``single`` backend.
+        """
+        if tx is not self._open_tx:
+            raise TransactionError("commit of a non-current transaction")
+        try:
+            by_user: Dict[str, List[Tuple[str, Any]]] = {}
+            for user_id, key, value in tx._writes:
+                by_user.setdefault(user_id, []).append((key, value))
+            cost = 0.0
+            hops = 0
+            for user_id, writes in by_user.items():
+                partition = self.partitioner.partition_of(user_id)
+                cells = [
+                    (key, self.bricks.next_version(),
+                     TOMBSTONE if (value is _TOMBSTONE
+                                   or value == _TOMBSTONE) else value)
+                    for key, value in writes
+                ]
+                acks = 0
+                responsive = 0
+                for slot in self.partitioner.slots_of(partition):
+                    brick = self.bricks.brick_at(slot)
+                    if brick is None or not brick.alive:
+                        continue
+                    hops += 1
+                    if not brick.responsive:
+                        cost += BRICK_TIMEOUT_S
+                        continue
+                    responsive += 1
+                    cost += QUORUM_HOP_S + brick.service_s()
+                    if brick.put_cells(partition, user_id, cells):
+                        acks += 1
+                required = max(1, min(self.write_quorum, responsive))
+                if acks < required:
+                    self.failed_writes += 1
+                    raise QuorumError(
+                        f"user {user_id}: {acks} acks, "
+                        f"needed {required} "
+                        f"({responsive} responsive replicas)")
+                if acks < self.write_quorum:
+                    self.degraded_writes += 1
+                for key, version, value in cells:
+                    self.committed[(user_id, key)] = (version, value)
+            self.quorum_writes += 1
+            self.commits += 1
+            self.last_op_cost_s = cost
+            self.last_op_hops = hops
+        finally:
+            self._open_tx = None
+
+    def _abort(self, tx: Transaction) -> None:
+        # lenient on purpose: a QuorumError mid-commit already released
+        # the slot, and the context manager still calls abort()
+        if tx is self._open_tx:
+            self._open_tx = None
+        self.aborts += 1
+
+    # -- ProfileStore surface compatibility ----------------------------------
+
+    def recover(self) -> int:
+        """Cheap recovery has no replay: the coordinator holds no
+        durable log to rebuild from.  Constant time, nothing applied."""
+        return 0
+
+    def checkpoint(self) -> None:
+        """No log to compact."""
+
+    def close(self) -> None:
+        """No file handles to release."""
+
+    # -- invariant + reporting -----------------------------------------------
+
+    def verify_committed(self) -> List[Dict[str, Any]]:
+        """The committed-write-loss check: quorum-read every cell in
+        the oracle; report each one lost or stale.  Bypasses every
+        front-end cache by construction (reads hit the bricks)."""
+        lost = []
+        for (user_id, key), (version, value) in sorted(
+                self.committed.items()):
+            try:
+                merged = self._quorum_read(user_id)
+            except ReadUnavailable:
+                lost.append({"user": user_id, "key": key,
+                             "version": version, "reason": "unavailable"})
+                continue
+            cell = merged.get(key)
+            if cell is None:
+                lost.append({"user": user_id, "key": key,
+                             "version": version, "reason": "missing"})
+            elif cell[0] < version:
+                lost.append({"user": user_id, "key": key,
+                             "version": version, "reason": "stale",
+                             "found_version": cell[0]})
+        return lost
+
+    def stats(self) -> Dict[str, Any]:
+        return {
+            "write_quorum": self.write_quorum,
+            "committed_cells": len(self.committed),
+            "commits": self.commits,
+            "aborts": self.aborts,
+            "quorum_reads": self.quorum_reads,
+            "quorum_writes": self.quorum_writes,
+            "degraded_writes": self.degraded_writes,
+            "failed_writes": self.failed_writes,
+            "unavailable_reads": self.unavailable_reads,
+            "read_repairs": self.read_repairs,
+        }

@@ -68,6 +68,9 @@ class JpegBenchService:
 
     def handle(self, frontend, record):
         trace = frontend.current_trace
+        return (yield from self._distill(frontend, record, trace, {}))
+
+    def _distill(self, frontend, record, trace, profile):
         mark = self.cluster.env.now
         yield self.cluster.env.timeout(CACHE_HIT_S)
         if trace is not None:
@@ -75,7 +78,7 @@ class JpegBenchService:
         content = Content(record.url, record.mime,
                           zero_payload(record.size_bytes))
         request = TACCRequest(inputs=[content], params={},
-                              user_id=record.client_id)
+                              profile=profile, user_id=record.client_id)
         expected = self._estimator.work_estimate(request)
         try:
             result = yield from frontend.stub.dispatch(
@@ -88,6 +91,86 @@ class JpegBenchService:
                         size_bytes=result.size)
 
 
+#: single-backend profile-read cost on a front-end cache miss (the gdbm
+#: lookup; mirrors repro.transend.service.PROFILE_READ_MISS_S).
+PROFILE_READ_MISS_S = 0.005
+
+#: single-backend recovery model when chaos kills the store: restart
+#: fork plus WAL replay proportional to committed transactions — the
+#: cost curve cheap recovery exists to flatten.
+SINGLE_RESTART_S = 0.4
+SINGLE_REPLAY_PER_TXN_S = 0.002
+
+
+class ProfileBenchService(JpegBenchService):
+    """The bench service with a real profile read in front of every
+    distillation — the path brick chaos campaigns measure.
+
+    Reads go through a per-front-end
+    :class:`~repro.tacc.customization.WriteThroughCache` over either
+    backend.  A failed read (no quorum, or the single-node store down
+    for replay) degrades BASE-style to an empty profile — the request
+    still completes, but the read counts against profile availability.
+    """
+
+    def __init__(self, cluster: Cluster, store: Any) -> None:
+        super().__init__(cluster)
+        self.store = store
+        self._profile_caches: Dict[str, Any] = {}
+        #: single-backend outage window (chaos adapter); the dstore
+        #: backend never sets this — bricks fail individually instead.
+        self.store_down_until = 0.0
+        self.profile_reads = 0
+        self.profile_read_failures = 0
+
+    def profile_cache_for(self, frontend_name: str):
+        from repro.tacc.customization import WriteThroughCache
+        if frontend_name not in self._profile_caches:
+            self._profile_caches[frontend_name] = WriteThroughCache(
+                self.store)
+        return self._profile_caches[frontend_name]
+
+    @property
+    def store_available(self) -> bool:
+        return self.cluster.env.now >= self.store_down_until
+
+    def handle(self, frontend, record):
+        from repro.dstore.store import QuorumError, ReadUnavailable
+        trace = frontend.current_trace
+        env = self.cluster.env
+        cache = self.profile_cache_for(frontend.name)
+        cached = record.client_id in cache._cache
+        self.profile_reads += 1
+        profile = None
+        if cached:
+            profile = cache.get(record.client_id)
+        elif not self.store_available:
+            self.profile_read_failures += 1
+        else:
+            mark = env.now
+            try:
+                profile = cache.get(record.client_id)
+            except (QuorumError, ReadUnavailable):
+                self.profile_read_failures += 1
+            cost = getattr(self.store, "last_op_cost_s",
+                           PROFILE_READ_MISS_S) or PROFILE_READ_MISS_S
+            yield env.timeout(cost)
+            if trace is not None:
+                trace.record(
+                    "profile-read", "service", mark,
+                    component=type(self.store).__name__,
+                    hops=getattr(self.store, "last_op_hops", 1),
+                    ok=profile is not None)
+        return (yield from self._distill(frontend, record, trace,
+                                         profile or {}))
+
+    @property
+    def profile_read_availability(self) -> float:
+        if self.profile_reads == 0:
+            return 1.0
+        return 1.0 - self.profile_read_failures / self.profile_reads
+
+
 def build_bench_fabric(
     n_nodes: int = 20,
     n_overflow: int = 0,
@@ -95,14 +178,49 @@ def build_bench_fabric(
     config: Optional[SNSConfig] = None,
     san_bandwidth_bps: float = 100 * MBPS,
     frontend_link_bandwidth_bps: float = 100 * MBPS,
+    profile_backend: Optional[str] = None,
+    n_bricks: int = 3,
+    brick_replicas: int = 2,
+    brick_ledger: Any = None,
 ) -> SNSFabric:
+    """Assemble the bench fabric; ``profile_backend`` opts into a real
+    profile store on the request path:
+
+    * ``None`` — the classic harness: no profile reads (the scalability
+      benchmarks' shape, byte-identical to before this option existed);
+    * ``"single"`` — the paper's §2.3 layout: one in-memory ACID
+      :class:`~repro.tacc.customization.ProfileStore`;
+    * ``"dstore"`` — the replicated brick store (``n_bricks`` /
+      ``brick_replicas``), hung off the fabric as
+      ``fabric.profile_bricks`` for chaos and supervision to reach.
+    """
     cluster = Cluster(seed=seed, san_bandwidth_bps=san_bandwidth_bps)
     cluster.add_nodes(n_nodes)
     if n_overflow:
         cluster.add_nodes(n_overflow, prefix="ovf", overflow=True)
     registry = WorkerRegistry()
     registry.register_class(JpegDistiller)
-    service = JpegBenchService(cluster)
-    return SNSFabric(
+    if profile_backend is None:
+        service = JpegBenchService(cluster)
+        store = None
+        bricks = None
+    elif profile_backend == "single":
+        from repro.tacc.customization import ProfileStore
+        store = ProfileStore()
+        bricks = None
+        service = ProfileBenchService(cluster, store)
+    elif profile_backend == "dstore":
+        from repro.dstore import BrickCluster, ReplicatedProfileStore
+        bricks = BrickCluster(cluster, n_bricks=n_bricks,
+                              replicas=brick_replicas,
+                              ledger=brick_ledger).boot()
+        store = ReplicatedProfileStore(bricks)
+        service = ProfileBenchService(cluster, store)
+    else:
+        raise ValueError(f"unknown profile backend {profile_backend!r}")
+    fabric = SNSFabric(
         cluster, registry, (config or SNSConfig()).validate(), service,
         frontend_link_bandwidth_bps=frontend_link_bandwidth_bps)
+    fabric.profile_store = store
+    fabric.profile_bricks = bricks
+    return fabric

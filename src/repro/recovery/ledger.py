@@ -84,6 +84,11 @@ class RecoveryLedger:
         self.false_alarms: List[Tuple[float, str, str]] = []
         #: proactive rejuvenation restarts: (time, target).
         self.rejuvenations: List[Tuple[float, str]] = []
+        #: brick cheap-rejoin measurements pushed by the BrickCluster:
+        #: dicts with brick/slot/rejoin_s/cells_at_kill/sync_s.  The
+        #: point of recording cells_at_kill next to rejoin_s is the
+        #: claim itself: rejoin time must not grow with state size.
+        self.rejoins: List[Dict[str, Any]] = []
 
     # -- event intake -------------------------------------------------------
 
@@ -115,6 +120,11 @@ class RecoveryLedger:
 
     def note_rejuvenation(self, target: str) -> None:
         self.rejuvenations.append((self.env.now, target))
+
+    def note_rejoin(self, record: Dict[str, Any]) -> None:
+        """A restarted brick is serving again (the BrickCluster keeps
+        the live dict and updates ``sync_s`` when repair completes)."""
+        self.rejoins.append(record)
 
     # -- queries ------------------------------------------------------------
 
@@ -150,6 +160,7 @@ class RecoveryLedger:
         mttr = self.mttr_values()
         outage = sum(case.outage_s(duration_s) for case in self.cases)
         denominator = duration_s * max(1, population)
+        rejoin = [r["rejoin_s"] for r in self.rejoins]
         return {
             "injected": len(self.cases),
             "detected": len(self.detected),
@@ -162,6 +173,10 @@ class RecoveryLedger:
             "mttr_max": max(mttr) if mttr else None,
             "outage_s": outage,
             "availability": 1.0 - outage / denominator,
+            "rejoins": len(self.rejoins),
+            "rejoin_mean_s": sum(rejoin) / len(rejoin) if rejoin
+            else None,
+            "rejoin_max_s": max(rejoin) if rejoin else None,
         }
 
     def render(self) -> List[str]:
@@ -182,4 +197,13 @@ class RecoveryLedger:
             lines.append(
                 f"{case.kind:<15} {case.target:<20} "
                 f"@{case.injected_at:5.1f}s  {detect:<28} {heal}")
+        for record in self.rejoins:
+            sync = (f"synced +{record['sync_s']:.1f}s"
+                    if record.get("sync_s") is not None
+                    else "sync pending")
+            lines.append(
+                f"{'rejoin':<15} {record['brick']:<20} "
+                f"@{record['rejoined_at']:5.1f}s  "
+                f"{'serving +' + format(record['rejoin_s'], '.1f') + 's':<28} "
+                f"{sync} ({record['cells_at_kill']} cells at kill)")
         return lines

@@ -103,6 +103,23 @@ class Supervisor(Component):
                     continue
                 self.probes_sent += 1
                 self.spawn(self._probe_one(stub))
+            for brick in sorted(self._bricks().values(),
+                                key=lambda brick: brick.name):
+                if brick.name in self._restarting:
+                    continue
+                if not brick.alive:
+                    # no manager tracks bricks, so a kill -9 has no
+                    # process-peer: the supervisor is the only thing
+                    # that notices the corpse
+                    self._begin_restart(brick, "brick-dead",
+                                        "brick process gone")
+                    continue
+                self.probes_sent += 1
+                self.spawn(self._probe_one(brick))
+
+    def _bricks(self) -> Dict[str, Any]:
+        population = getattr(self.fabric, "brick_population", None)
+        return population() if population is not None else {}
 
     def _probe_one(self, stub):
         policy = self.policy
@@ -217,7 +234,9 @@ class Supervisor(Component):
 
     def _begin_restart(self, stub, detector: str, detail: str) -> None:
         name = stub.name
-        if name in self._restarting or not stub.alive:
+        is_brick = getattr(stub, "kind", None) == "brick"
+        # a dead *worker* is the manager's job; a dead brick is ours
+        if name in self._restarting or (not stub.alive and not is_brick):
             return
         self.suspicions += 1
         now = self.env.now
@@ -245,7 +264,10 @@ class Supervisor(Component):
                 case.trace_id = span.trace_id
                 span.record("undetected", "queueing", case.injected_at,
                             kind=case.kind)
-        self.spawn(self._restart(stub, case, span))
+        if is_brick:
+            self.spawn(self._restart_brick(stub, case, span))
+        else:
+            self.spawn(self._restart(stub, case, span))
 
     def _restart(self, stub, case: Optional[FaultCase], span,
                  proactive: bool = False):
@@ -328,6 +350,88 @@ class Supervisor(Component):
                 return
         self._alert("page", case.target,
                     f"replacement {replacement.name} never registered")
+        if span is not None:
+            span.annotate(heal="timeout").finish()
+
+    # -- the brick restart path ----------------------------------------------
+
+    def _restart_brick(self, brick, case: Optional[FaultCase], span):
+        """Restart-as-first-resort for a brick: same backoff and budget
+        accounting as workers, but the replacement goes back to the
+        *same slot* (placement is identity, so no node quarantine —
+        a brick has exactly one home), and the heal bar is higher:
+        rejoining is instant by design, so "healed" means the
+        anti-entropy sweep finished and the brick answers reads for
+        every partition it hosts again.
+        """
+        policy = self.policy
+        name, node = brick.name, brick.node
+        now = self.env.now
+        history = [t for t in self._node_restarts.get(node.name, [])
+                   if now - t <= policy.flap_window_s]
+        delay = 0.0
+        if history:
+            delay = min(policy.restart_backoff_cap_s,
+                        policy.restart_backoff_base_s
+                        * policy.restart_backoff_factor
+                        ** (len(history) - 1))
+            if policy.restart_backoff_jitter > 0 and delay > 0:
+                delay *= 1.0 + policy.restart_backoff_jitter * \
+                    (self.rng.random() - 0.5)
+        try:
+            if delay > 0:
+                self.backoff_waits += 1
+                yield self.env.timeout(delay)
+            current = self._bricks().get(name)
+            if current is not brick:
+                return  # another incarnation took the slot meanwhile
+            now = self.env.now
+            self._restart_times.append(now)
+            history.append(now)
+            self._node_restarts[node.name] = history
+            mark = now
+            if brick.alive:
+                brick.kill()
+            self.restarts += 1
+            bricks = self.fabric.profile_bricks
+            if bricks is None:
+                self._alert("page", name, "brick dead but no brick "
+                                          "cluster to respawn into")
+                if span is not None:
+                    span.annotate(heal="no-cluster").finish()
+                return
+            replacement = yield from bricks.respawn(brick.slot)
+            if span is not None:
+                span.record("restart", "service", mark,
+                            replacement=replacement.name)
+            if case is not None:
+                yield from self._await_brick_heal(case, replacement,
+                                                  span)
+            elif span is not None:
+                span.finish()
+        finally:
+            self._restarting.discard(name)
+
+    def _await_brick_heal(self, case: FaultCase, replacement, span):
+        """Healed = fully authoritative again, not merely serving:
+        MTTR deliberately includes the background sync, so the number
+        reported is time-to-full-redundancy."""
+        mark = self.env.now
+        for _ in range(self.policy.heal_wait_periods):
+            yield self.env.timeout(self.config.beacon_interval_s)
+            if not replacement.alive:
+                break
+            if replacement.fully_authoritative:
+                self.ledger.note_healed(case, "brick-restart",
+                                        replacement.name)
+                if span is not None:
+                    span.record("resync", "queueing", mark,
+                                replacement=replacement.name)
+                    span.finish()
+                return
+        self._alert("page", case.target,
+                    f"replacement {replacement.name} never finished "
+                    f"anti-entropy")
         if span is not None:
             span.annotate(heal="timeout").finish()
 

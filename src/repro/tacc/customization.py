@@ -117,6 +117,10 @@ class ProfileStore:
         self._log: Optional[IO[str]] = None
         self.commits = 0
         self.aborts = 0
+        #: bumped by every :meth:`recover`; caches compare it to drop
+        #: state that predates a recovery (the recovered store may have
+        #: lost a torn tail the cache already absorbed).
+        self.generation = 0
         if log_path is not None:
             self.recover()
             self._log = open(log_path, "a", encoding="utf-8")
@@ -216,8 +220,14 @@ class ProfileStore:
         Only operations bracketed by matching ``begin``/``commit`` records
         are applied; a torn final line (crash mid-write) is tolerated, but
         corruption earlier in the log raises :class:`StoreCorrupt`.
+
+        A torn tail is also sealed on disk — truncated off, or given
+        its missing newline when the crash landed exactly on a record
+        boundary — so records appended after recovery cannot splice
+        onto torn bytes and corrupt the *next* recovery.
         """
         self._data = {}
+        self.generation += 1
         if self.log_path is None or not os.path.exists(self.log_path):
             return 0
         with open(self.log_path, "r", encoding="utf-8") as log:
@@ -230,7 +240,13 @@ class ProfileStore:
                 record = json.loads(line)
             except ValueError:
                 if index == len(lines) - 1:
-                    break  # torn tail from a crash: drop it
+                    # torn tail from a crash: drop it and truncate it
+                    # off disk
+                    good = sum(len(prior.encode("utf-8"))
+                               for prior in lines[:index])
+                    with open(self.log_path, "r+b") as raw:
+                        raw.truncate(good)
+                    break
                 raise StoreCorrupt(f"bad record at line {index + 1}")
             op = record.get("op")
             tx_id = record.get("tx", 0)
@@ -246,6 +262,12 @@ class ProfileStore:
             elif op == "commit" and tx_id in pending:
                 self._apply(pending.pop(tx_id))
                 committed += 1
+        else:
+            if lines and not lines[-1].endswith("\n"):
+                # crash landed exactly on a record boundary: seal the
+                # missing newline so the next append starts clean
+                with open(self.log_path, "a", encoding="utf-8") as raw:
+                    raw.write("\n")
         self._next_tx = highest_tx + 1
         return committed
 
@@ -287,15 +309,29 @@ class WriteThroughCache:
     Reads hit the cache; writes go through to the store *and* update the
     cache, so the cache is always coherent with respect to writes made
     through it (the production layout: one FE, one cache, one store).
+    Deletes are write-through too, and the cache watches the store's
+    ``generation`` stamp: a recovery may have rolled the store back past
+    state this cache already absorbed (a torn-tail transaction), so all
+    cached reads from before a recovery are dropped wholesale.
     """
 
     def __init__(self, store: ProfileStore) -> None:
         self.store = store
         self._cache: Dict[str, Dict[str, Any]] = {}
+        self._generation = getattr(store, "generation", 0)
         self.hits = 0
         self.misses = 0
+        self.generation_flushes = 0
+
+    def _check_generation(self) -> None:
+        generation = getattr(self.store, "generation", 0)
+        if generation != self._generation:
+            self._cache.clear()
+            self._generation = generation
+            self.generation_flushes += 1
 
     def get(self, user_id: str) -> Dict[str, Any]:
+        self._check_generation()
         if user_id in self._cache:
             self.hits += 1
         else:
@@ -304,9 +340,19 @@ class WriteThroughCache:
         return dict(self._cache[user_id])
 
     def set(self, user_id: str, key: str, value: Any) -> None:
+        self._check_generation()
         self.store.set(user_id, key, value)
         profile = self._cache.setdefault(user_id, {})
         profile[key] = value
+
+    def delete(self, user_id: str, key: str) -> None:
+        """Write-through delete: the cached profile must never keep
+        serving a key the store has tombstoned."""
+        self._check_generation()
+        self.store.delete(user_id, key)
+        profile = self._cache.get(user_id)
+        if profile is not None:
+            profile.pop(key, None)
 
     def invalidate(self, user_id: Optional[str] = None) -> None:
         if user_id is None:

@@ -216,6 +216,9 @@ class TranSend:
         san_bandwidth_bps: float = 100 * MBPS,
         internet_bandwidth_bps: float = 10 * MBPS,
         profile_log_path: Optional[str] = None,
+        profile_backend: str = "single",
+        n_bricks: int = 3,
+        brick_replicas: int = 2,
         adaptive: bool = False,
     ) -> None:
         self.config = (config or SNSConfig()).validate()
@@ -233,8 +236,25 @@ class TranSend:
         for index in range(n_cache_nodes):
             node = self.cluster.add_node(f"cachenode{index}")
             self.cachesys.add_node(node, cache_capacity_bytes)
-        self.profile_store = ProfileStore(
-            log_path=profile_log_path, validator=preference_validator)
+        self.profile_bricks = None
+        if profile_backend == "single":
+            self.profile_store = ProfileStore(
+                log_path=profile_log_path,
+                validator=preference_validator)
+        elif profile_backend == "dstore":
+            if profile_log_path is not None:
+                raise ValueError("the dstore backend has no WAL; "
+                                 "profile_log_path only applies to "
+                                 "profile_backend='single'")
+            from repro.dstore import BrickCluster, ReplicatedProfileStore
+            self.profile_bricks = BrickCluster(
+                self.cluster, n_bricks=n_bricks,
+                replicas=brick_replicas).boot()
+            self.profile_store = ReplicatedProfileStore(
+                self.profile_bricks, validator=preference_validator)
+        else:
+            raise ValueError(
+                f"unknown profile backend {profile_backend!r}")
         self.registry = transend_registry()
         self.adaptation = None
         if adaptive:
@@ -246,6 +266,8 @@ class TranSend:
                                    adaptation=self.adaptation)
         self.fabric = SNSFabric(self.cluster, self.registry, self.config,
                                 self.logic, execute_real=real_content)
+        self.fabric.profile_store = self.profile_store
+        self.fabric.profile_bricks = self.profile_bricks
 
     # -- life cycle -----------------------------------------------------------------
 

@@ -1,0 +1,112 @@
+"""The brick-failure acceptance campaign: kills and gray failures
+against the replicated profile store lose zero committed writes, keep
+reads available, and rejoin in constant time — plus the single-store
+baseline whose recovery cost grows with the log."""
+
+import pytest
+
+from repro.chaos import get_campaign, run_campaign, run_campaign_batch
+from repro.cli import main
+
+BRICK_FAULT_KINDS = {"brick-kill", "fail-slow", "zombie", "hang"}
+
+
+@pytest.fixture(scope="module")
+def brick_report():
+    return run_campaign(get_campaign("brick-failures"), seed=1997)
+
+
+def test_brick_failures_all_detected_and_healed(brick_report):
+    report = brick_report
+    assert report.ok, report.violations
+    assert {case.kind for case in report.recovery_cases} == \
+        BRICK_FAULT_KINDS
+    assert len(report.recovery_cases) == 5
+    for case in report.recovery_cases:
+        assert case.detected, case
+        assert case.healed, case
+        assert case.heal_action == "brick-restart"
+        assert case.replacement.startswith("brick")
+
+
+def test_brick_failures_loses_no_committed_writes(brick_report):
+    profile = brick_report.profile
+    assert profile["backend"] == "dstore"
+    assert profile["lost_writes"] == []
+    writes = profile["writes"]
+    assert writes["attempted"] > 100
+    assert writes["committed"] == writes["attempted"]
+    assert profile["store"]["committed_cells"] > 0
+    assert profile["bricks"]["data_loss_promotions"] == 0
+
+
+def test_brick_failures_read_availability_slo(brick_report):
+    profile = brick_report.profile
+    assert profile["reads"] > 1000
+    assert profile["read_availability"] >= 0.99
+
+
+def test_brick_failures_rejoin_constant_time(brick_report):
+    rejoins = brick_report.profile["bricks"]["rejoins"]
+    assert len(rejoins) == 5
+    times = {round(record["rejoin_s"], 6) for record in rejoins}
+    assert len(times) == 1  # identical regardless of state held
+    sizes = [record["cells_at_kill"] for record in rejoins]
+    assert max(sizes) > min(sizes)  # while the state sizes differ
+    for record in rejoins:
+        assert record["sync_s"] is not None  # repair finished too
+    summary = brick_report.recovery_summary
+    assert summary["rejoins"] == 5
+    assert summary["rejoin_mean_s"] == \
+        pytest.approx(summary["rejoin_max_s"])
+
+
+def test_brick_failures_report_renders_profile_section(brick_report):
+    text = brick_report.render()
+    assert "backend=dstore" in text
+    assert "committed-write loss: 0" in text
+    assert "rejoin" in text
+    assert "cells at kill" in text
+
+
+def test_brick_smoke_campaign_heals_everything():
+    report = run_campaign(get_campaign("brick-smoke"), seed=3)
+    assert report.ok, report.violations
+    assert len(report.recovery_cases) == 3
+    assert all(case.healed for case in report.recovery_cases)
+    assert report.profile["lost_writes"] == []
+
+
+def test_single_backend_outage_grows_with_log():
+    """The baseline the bricks exist to beat: the single store's
+    recovery replays the WAL, so the second kill (more committed
+    transactions) takes strictly longer to heal than the first."""
+    report = run_campaign(get_campaign("brick-failures-single"),
+                          seed=1997)
+    assert report.ok, report.violations
+    first, second = report.recovery_cases
+    assert first.detector == second.detector == "restart-watchdog"
+    assert first.mttd == second.mttd == 0.0
+    assert second.mttr > first.mttr
+    profile = report.profile
+    assert profile["backend"] == "single"
+    # writes attempted during the outage window are refused outright —
+    # the unavailability bricks mask
+    assert profile["writes"]["failed"] > 0
+
+
+def test_brick_batch_parallel_is_byte_identical():
+    serial = run_campaign_batch("brick-smoke", master_seed=3,
+                                runs=2, jobs=1)
+    parallel = run_campaign_batch("brick-smoke", master_seed=3,
+                                  runs=2, jobs=2)
+    assert serial.render(verbose=True) == parallel.render(verbose=True)
+    assert serial.ok
+
+
+def test_cli_profile_backend_override(capsys):
+    exit_code = main(["chaos", "smoke", "--profile-backend", "dstore"])
+    out = capsys.readouterr().out
+    assert exit_code == 0
+    assert "backend=dstore" in out
+    assert "committed-write loss: 0" in out
