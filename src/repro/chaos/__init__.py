@@ -26,6 +26,7 @@ from repro.chaos.batch import (
 )
 from repro.chaos.campaign import (
     CAMPAIGNS,
+    AsymmetricLink,
     Campaign,
     CampaignRunner,
     CorruptOutput,
@@ -36,12 +37,14 @@ from repro.chaos.campaign import (
     GrayWorkerFault,
     HangBrick,
     HangWorker,
+    HealSAN,
     KillBrick,
     KillFrontEnd,
     KillManager,
     KillWorker,
     LeakWorker,
     LossyWindow,
+    PartitionSAN,
     PartitionWorker,
     RollingKills,
     Straggle,
@@ -61,6 +64,7 @@ __all__ = [
     "ChaosReport",
     "batch_seeds",
     "run_campaign_batch",
+    "AsymmetricLink",
     "CorruptOutput",
     "CrashWorkerNode",
     "FailSlowBrick",
@@ -69,6 +73,7 @@ __all__ = [
     "GrayWorkerFault",
     "HangBrick",
     "HangWorker",
+    "HealSAN",
     "InvariantChecker",
     "InvariantViolation",
     "KillBrick",
@@ -77,6 +82,7 @@ __all__ = [
     "KillWorker",
     "LeakWorker",
     "LossyWindow",
+    "PartitionSAN",
     "PartitionWorker",
     "RollingKills",
     "Straggle",

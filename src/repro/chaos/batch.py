@@ -36,17 +36,21 @@ __all__ = ["CampaignBatchReport", "batch_seeds", "run_campaign_batch",
 
 
 def run_campaign_shard(name: str, seed: int,
-                       profile_backend: Optional[str] = None
+                       profile_backend: Optional[str] = None,
+                       manager_backend: Optional[str] = None
                        ) -> ChaosReport:
     """One batch unit: build and run ``name`` under ``seed``.
 
     Module-level so :class:`ShardSpec` can pickle it into worker
-    processes.  ``profile_backend`` overrides the campaign's configured
-    backend (the CLI's ``--profile-backend`` switch).
+    processes.  ``profile_backend`` and ``manager_backend`` override the
+    campaign's configured backends (the CLI's ``--profile-backend`` /
+    ``--manager-backend`` switches).
     """
     campaign = get_campaign(name)
     if profile_backend is not None:
         campaign.profile_backend = profile_backend
+    if manager_backend is not None:
+        campaign.manager_backend = manager_backend
     return CampaignRunner(campaign, seed=seed).run()
 
 
@@ -181,6 +185,7 @@ class CampaignBatchReport:
 def run_campaign_batch(name: str, master_seed: int = 1997,
                        runs: int = 1, jobs: int = 1, *,
                        profile_backend: Optional[str] = None,
+                       manager_backend: Optional[str] = None,
                        timeout_s: Optional[float] = None,
                        retries: int = 0,
                        progress=None) -> CampaignBatchReport:
@@ -196,7 +201,7 @@ def run_campaign_batch(name: str, master_seed: int = 1997,
     specs = [
         ShardSpec(shard_id=f"{name}#run{index}:seed={seed}",
                   fn=run_campaign_shard,
-                  args=(name, seed, profile_backend))
+                  args=(name, seed, profile_backend, manager_backend))
         for index, seed in enumerate(seeds)
     ]
     sweep = run_sharded(specs, jobs=jobs, timeout_s=timeout_s,

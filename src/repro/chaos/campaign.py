@@ -100,6 +100,58 @@ class PartitionWorker(Fault):
 
 
 @dataclass
+class PartitionSAN(Fault):
+    """Split the SAN: the nodes named by ``isolate`` end up in their own
+    multicast/channel domain, cut off from everyone else until the
+    window ends (or a :class:`HealSAN` fires earlier).
+
+    ``isolate`` entries are *symbolic node specs* resolved at fire time,
+    because populations churn: ``"manager"`` is whatever node hosts the
+    current manager (or consensus leader) at that moment,
+    ``"worker:<i>"`` the node of the i-th alive worker (sorted by
+    name), ``"frontend:<i>"`` likewise; anything else is taken as a
+    literal node name.
+    """
+
+    isolate: List[str] = field(default_factory=lambda: ["manager"])
+    duration_s: float = 15.0
+
+    @property
+    def heals_at(self) -> float:
+        return self.at + self.duration_s
+
+    @property
+    def needs_reregistration_check(self) -> bool:
+        return True
+
+
+@dataclass
+class HealSAN(Fault):
+    """End every active SAN partition window immediately."""
+
+
+@dataclass
+class AsymmetricLink(Fault):
+    """One-way SAN reachability failure: traffic from ``src`` to ``dst``
+    is blackholed while the reverse direction still works — the gray
+    network fault that breaks failure detectors built on 'I can hear
+    you, so you can hear me'.  Specs resolve like
+    :class:`PartitionSAN`'s."""
+
+    src: str = "worker:0"
+    dst: str = "manager"
+    duration_s: float = 10.0
+
+    @property
+    def heals_at(self) -> float:
+        return self.at + self.duration_s
+
+    @property
+    def needs_reregistration_check(self) -> bool:
+        return True
+
+
+@dataclass
 class LossyWindow(Fault):
     """Impose the lossy-SAN fault model on a traffic scope for a while.
 
@@ -327,6 +379,10 @@ class Campaign:
     #: "single" is the WAL-backed ProfileStore, "dstore" the replicated
     #: brick cluster.
     profile_backend: Optional[str] = None
+    #: control plane behind the workers: None/"soft" is the paper's
+    #: single soft-state manager, "consensus" the Paxos-replicated
+    #: manager group (the CLI's ``--manager-backend`` switch).
+    manager_backend: Optional[str] = None
     n_bricks: int = 3
     brick_replicas: int = 2
     #: period of the deterministic profile-writer client (only runs
@@ -389,7 +445,8 @@ class CampaignRunner:
             config=chaos_config(**campaign.config_overrides),
             profile_backend=campaign.profile_backend,
             n_bricks=campaign.n_bricks,
-            brick_replicas=campaign.brick_replicas)
+            brick_replicas=campaign.brick_replicas,
+            manager_backend=campaign.manager_backend)
         self.cluster = self.fabric.cluster
         self.env = self.cluster.env
         self.faults = self.cluster.network.install_faults(
@@ -423,6 +480,29 @@ class CampaignRunner:
             yield self.env.timeout(max(0.0, time - self.env.now))
             fire()
         self.env.process(later())
+
+    def _resolve_node_spec(self, spec: str) -> Optional[str]:
+        """Turn a symbolic node spec into a node name at fire time."""
+        if spec == "manager":
+            manager = self.fabric.manager
+            if manager is None and self.fabric.manager_group is not None:
+                group = self.fabric.manager_group
+                manager = group.leader or group.replicas[0]
+            return manager.node.name if manager is not None else None
+        if spec.startswith("worker:"):
+            workers = self._alive_workers()
+            if not workers:
+                return None
+            index = int(spec.split(":", 1)[1])
+            return workers[index % len(workers)].node.name
+        if spec.startswith("frontend:"):
+            frontends = sorted(self.fabric.alive_frontends(),
+                               key=lambda fe: fe.name)
+            if not frontends:
+                return None
+            index = int(spec.split(":", 1)[1])
+            return frontends[index % len(frontends)].node.name
+        return spec
 
     # -- arming actions ---------------------------------------------------------
 
@@ -468,6 +548,41 @@ class CampaignRunner:
                     self.injector.partition_at(
                         self.env.now, workers[0], action.duration_s)
             self._at(action.at, partition)
+        elif isinstance(action, PartitionSAN):
+            def partition_san(action=action):
+                partitions = self.cluster.install_partitions()
+                groups = {}
+                for spec in action.isolate:
+                    node_name = self._resolve_node_spec(spec)
+                    if node_name is not None:
+                        groups[node_name] = "isolated"
+                if not groups:
+                    return
+                partitions.split(groups, duration_s=action.duration_s)
+                self.injector.log.append(FaultRecord(
+                    self.env.now, "san-partition",
+                    "+".join(sorted(groups))))
+            self._at(action.at, partition_san)
+        elif isinstance(action, HealSAN):
+            def heal_san():
+                partitions = self.cluster.network.partitions
+                if partitions is not None and partitions.active():
+                    partitions.heal()
+                    self.injector.log.append(
+                        FaultRecord(self.env.now, "san-heal", "all"))
+            self._at(action.at, heal_san)
+        elif isinstance(action, AsymmetricLink):
+            def asymmetric(action=action):
+                partitions = self.cluster.install_partitions()
+                src = self._resolve_node_spec(action.src)
+                dst = self._resolve_node_spec(action.dst)
+                if src is None or dst is None or src == dst:
+                    return
+                partitions.one_way(src, dst,
+                                   duration_s=action.duration_s)
+                self.injector.log.append(FaultRecord(
+                    self.env.now, "san-oneway", f"{src}->{dst}"))
+            self._at(action.at, asymmetric)
         elif isinstance(action, LossyWindow):
             self.faults.impose(
                 scope=action.scope, loss=action.loss,
@@ -658,12 +773,16 @@ class CampaignRunner:
                            else campaign.client_timeout_s))
         profile = (self._profile_results()
                    if campaign.profile_backend is not None else None)
+        consensus = None
+        if self.fabric.manager_group is not None:
+            self.checker.final_consensus_checks(self.fabric.manager_group)
+            consensus = self.fabric.manager_group.stats()
         return build_report(
             campaign=campaign, seed=self.seed, fabric=self.fabric,
             engine=self.engine, checker=self.checker,
             injector=self.injector, faults=self.faults,
             ledger=self.ledger, supervisor=self.supervisor,
-            profile=profile)
+            profile=profile, consensus=consensus)
 
 
 def run_campaign(campaign: Campaign, seed: int = 1997) -> ChaosReport:
@@ -919,6 +1038,49 @@ def _brick_failures_single() -> Campaign:
 
 
 #: name -> zero-argument factory returning a fresh Campaign.
+def _partition_failures() -> Campaign:
+    """The consensus acceptance scenario: isolate the manager's node
+    from the SAN twice (the second cut lands on whoever took over) with
+    a one-way worker->manager gray link in between.  Run it under both
+    ``--manager-backend`` values: the soft single manager gets deposed
+    and replaced on stale views, the Paxos group fails over by
+    election and must show zero wrong-decision dispatches.
+    """
+    return Campaign(
+        name="partition-failures",
+        description="two SAN partitions isolating the current manager "
+                    "+ an asymmetric worker->manager link; soft vs "
+                    "consensus control planes",
+        duration_s=95.0,
+        actions=[
+            PartitionSAN(at=15.0, isolate=["manager"], duration_s=20.0),
+            AsymmetricLink(at=45.0, src="worker:0", dst="manager",
+                           duration_s=10.0),
+            PartitionSAN(at=60.0, isolate=["manager"], duration_s=15.0),
+        ],
+        n_nodes=12,
+        config_overrides={"manager_self_deposition": True},
+    )
+
+
+def _partition_smoke() -> Campaign:
+    """Reduced partition campaign for the CI gate (both backends)."""
+    return Campaign(
+        name="partition-smoke",
+        description="one SAN partition isolating the manager + a short "
+                    "asymmetric link (fast; the CI partition gate)",
+        duration_s=60.0,
+        actions=[
+            PartitionSAN(at=10.0, isolate=["manager"], duration_s=12.0),
+            AsymmetricLink(at=30.0, src="worker:0", dst="manager",
+                           duration_s=8.0),
+        ],
+        rate_rps=10.0,
+        n_nodes=10,
+        config_overrides={"manager_self_deposition": True},
+    )
+
+
 CAMPAIGNS: Dict[str, Callable[[], Campaign]] = {
     "smoke": _smoke,
     "mixed": _mixed,
@@ -932,6 +1094,8 @@ CAMPAIGNS: Dict[str, Callable[[], Campaign]] = {
     "brick-failures": _brick_failures,
     "brick-smoke": _brick_smoke,
     "brick-failures-single": _brick_failures_single,
+    "partition-failures": _partition_failures,
+    "partition-smoke": _partition_smoke,
 }
 
 

@@ -237,6 +237,16 @@ class InvariantChecker:
                 f"{max_latency_s:.2f}s client deadline",
                 trace_id=getattr(offender, "trace_id", None))
 
+    # -- consensus safety -----------------------------------------------------
+
+    def final_consensus_checks(self, group: Any) -> None:
+        """End-of-run Paxos safety audit over the replicated manager
+        group: across every replica's learner state, no log slot may
+        hold two different chosen values — the one property consensus
+        exists to provide, and the one a partition must never break."""
+        for problem in group.safety_violations():
+            self.violation("paxos-safety", problem)
+
     # -- profile durability and availability ---------------------------------
 
     def final_profile_checks(self, store: Any, service: Any,

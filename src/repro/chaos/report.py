@@ -57,6 +57,12 @@ class ChaosReport:
     #: reads/availability, write counters, lost committed cells (the
     #: durability invariant), store stats, brick stats with rejoins.
     profile: Dict[str, Any] = field(default_factory=dict)
+    #: SAN-partition results when the run installed a partition model:
+    #: backend, wrong decisions, lease stalls, misroutes, stall time.
+    partition: Dict[str, Any] = field(default_factory=dict)
+    #: replicated-manager stats when the run used the consensus
+    #: backend: elections, ballots, log length, lease handoffs, stalls.
+    consensus: Dict[str, Any] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -207,6 +213,38 @@ class ChaosReport:
                     f"+{record['rejoin_s']:.1f}s "
                     f"({record['cells_at_kill']} cells at kill), "
                     f"{sync}")
+        if self.partition:
+            part = self.partition
+            lines.append(
+                f"partition  backend={part['backend']}  "
+                f"wrong-decisions {part['wrong_decisions']}  "
+                f"lease-stalls {part['lease_stalls']}  "
+                f"misroutes {part['partition_misroutes']}")
+            lines.append(
+                f"           dispatch stalled "
+                f"{part['dispatch_stall_s']:.1f}s, worst beacon gap "
+                f"{part['failover_max_s']:.1f}s, blocked "
+                f"{part['multicast_blocked']} multicasts / "
+                f"{part['channel_blocked']} channel sends, "
+                f"{part['deposed_managers']} deposed manager(s), "
+                f"{part['stale_beacons_rejected']} stale beacon(s) "
+                f"rejected")
+        if self.consensus:
+            cons = self.consensus
+            lines.append(
+                f"consensus  {cons['replicas']} replicas, "
+                f"{cons['elections']} election(s), "
+                f"{cons['lease_handoffs']} lease handoff(s), "
+                f"max ballot {cons['max_ballot']}, "
+                f"log length {cons['log_length']}")
+            lines.append(
+                f"           {cons['campaigns']} campaign(s), minority "
+                f"stall {cons['minority_stall_s']:.1f}s")
+            for regime in cons.get("regimes", []):
+                lines.append(
+                    f"           regime b{regime['ballot']} "
+                    f"{regime['leader']} @{regime['at']:.1f}s after "
+                    f"{regime['stalled_s']:.1f}s stall")
         lines.append("faults     " + (", ".join(
             f"{record.kind} {record.target} @ {record.time:.0f}s"
             for record in self.fault_timeline) or "none recorded"))
@@ -238,13 +276,20 @@ class ChaosReport:
 def build_report(campaign: Any, seed: int, fabric: Any, engine: Any,
                  checker: Any, injector: Any, faults: Any,
                  ledger: Any = None, supervisor: Any = None,
-                 profile: Optional[Dict[str, Any]] = None
+                 profile: Optional[Dict[str, Any]] = None,
+                 consensus: Optional[Dict[str, Any]] = None
                  ) -> ChaosReport:
     """Assemble the report from a finished campaign's pieces."""
     beacon_s = fabric.config.beacon_interval_s
     series = harvest_yield_series(engine.outcomes, bucket_s=beacon_s)
     recovery = yield_recovery_time(series, campaign.final_heal_s,
                                    target=RECOVERY_TARGET)
+    # the control plane under audit: all group replicas in consensus
+    # mode (counters are summed across them), else the soft manager
+    if getattr(fabric, "manager_group", None) is not None:
+        managers = list(fabric.manager_group.replicas)
+    else:
+        managers = [fabric.manager] if fabric.manager is not None else []
     counters: Dict[str, int] = {
         "datagrams_lost": faults.datagrams_lost,
         "datagrams_duplicated": faults.datagrams_duplicated,
@@ -262,14 +307,13 @@ def build_report(campaign: Any, seed: int, fabric: Any, engine: Any,
                              for fe in fabric.frontends.values()),
         "worker_expired_sheds": sum(stub.expired
                                     for stub in fabric.workers.values()),
-        "spawn_failures": (fabric.manager.spawn_failures
-                           if fabric.manager is not None else 0),
+        "spawn_failures": sum(m.spawn_failures for m in managers),
     }
-    manager = fabric.manager
-    if manager is not None:
-        counters["reaps"] = manager.reaps
-        counters["reap_redispatches"] = manager.reap_redispatches
-        counters["reap_drops"] = manager.reap_drops
+    if managers:
+        counters["reaps"] = sum(m.reaps for m in managers)
+        counters["reap_redispatches"] = sum(m.reap_redispatches
+                                            for m in managers)
+        counters["reap_drops"] = sum(m.reap_drops for m in managers)
     if supervisor is not None:
         counters["recovery_probes"] = supervisor.probes_sent
         counters["recovery_suspicions"] = supervisor.suspicions
@@ -290,8 +334,30 @@ def build_report(campaign: Any, seed: int, fabric: Any, engine: Any,
         recovery_summary = ledger.summary(
             campaign.duration_s,
             population=max(1, campaign.initial_workers + n_bricks))
-    spawn_log = list(manager.spawn_failure_log) if manager else []
+    spawn_log = [failure for m in managers
+                 for failure in m.spawn_failure_log]
     latency_stats = LatencyStats.from_samples(engine.latencies())
+    partitions = getattr(fabric.cluster.network, "partitions", None)
+    partition: Dict[str, Any] = {}
+    if partitions is not None:
+        stubs = [fe.stub for fe in fabric.frontends.values()]
+        partition = {
+            "backend": fabric.manager_backend,
+            "wrong_decisions": sum(s.wrong_decisions for s in stubs),
+            "lease_stalls": sum(s.lease_stalls for s in stubs),
+            "partition_misroutes": sum(s.partition_misroutes
+                                       for s in stubs),
+            "stale_beacons_rejected": sum(s.stale_beacons_rejected
+                                          for s in stubs),
+            "dispatch_stall_s": round(
+                sum(s.stall_s for s in stubs), 3),
+            "failover_max_s": round(
+                max((s.beacon_gap_max_s for s in stubs), default=0.0),
+                3),
+            "multicast_blocked": partitions.multicast_blocked,
+            "channel_blocked": partitions.channel_blocked,
+            "deposed_managers": len(fabric.deposed_managers),
+        }
     return ChaosReport(
         campaign=campaign.name,
         description=campaign.description,
@@ -312,4 +378,6 @@ def build_report(campaign: Any, seed: int, fabric: Any, engine: Any,
         recovery_cases=recovery_cases,
         recovery_summary=recovery_summary,
         profile=profile or {},
+        partition=partition,
+        consensus=consensus or {},
     )

@@ -221,6 +221,14 @@ def build_parser() -> argparse.ArgumentParser:
                                    "'dstore' (replicated bricks); "
                                    "default: the campaign's own "
                                    "setting")
+    chaos_parser.add_argument("--manager-backend", default=None,
+                              choices=["soft", "consensus"],
+                              help="override the campaign's control "
+                                   "plane: 'soft' (the paper's single "
+                                   "soft-state manager) or 'consensus' "
+                                   "(the Paxos-replicated manager "
+                                   "group); default: the campaign's "
+                                   "own setting")
     chaos_parser.add_argument("--quiet", action="store_true",
                               help="suppress the per-run progress "
                                    "lines on stderr")
@@ -366,6 +374,9 @@ def chaos_command(args) -> int:
     backend = getattr(args, "profile_backend", None)
     if backend is not None:
         campaign.profile_backend = backend
+    manager_backend = getattr(args, "manager_backend", None)
+    if manager_backend is not None:
+        campaign.manager_backend = manager_backend
     runs = getattr(args, "runs", 1)
     jobs = getattr(args, "jobs", 1)
     if runs > 1 or jobs > 1:
@@ -401,12 +412,14 @@ def _chaos_batch(name: str, args, runs: int, jobs: int) -> int:
 
     progress = None if getattr(args, "quiet", False) else _chaos_progress
     backend = getattr(args, "profile_backend", None)
+    manager_backend = getattr(args, "manager_backend", None)
     if args.trace_out is not None:
         from repro.obs import capture_traces
         with capture_traces(sample_every=args.sample) as tracers:
             batch = run_campaign_batch(name, master_seed=args.seed,
                                        runs=runs, jobs=jobs,
                                        profile_backend=backend,
+                                       manager_backend=manager_backend,
                                        progress=progress)
         print(batch.render())
         _finish_tracing(tracers, args.trace_out)
@@ -414,6 +427,7 @@ def _chaos_batch(name: str, args, runs: int, jobs: int) -> int:
         batch = run_campaign_batch(name, master_seed=args.seed,
                                    runs=runs, jobs=jobs,
                                    profile_backend=backend,
+                                   manager_backend=manager_backend,
                                    progress=progress)
         print(batch.render())
     return 0 if batch.ok else 1

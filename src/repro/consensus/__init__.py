@@ -1,0 +1,63 @@
+"""Consensus-replicated manager: a multi-Paxos core under the SNS
+manager, trading the paper's restart-on-failure soft state for a
+3-replica replicated log that survives SAN partitions.
+
+The paper keeps the load-balancing manager centralized and soft
+(Section 3.1.3): peers restart it, and its state rebuilds from beacons
+and re-registrations.  That design is simple and fast — and it splits
+its brain the moment the SAN partitions, because *both* sides can run a
+manager that believes it is alone.  This package holds the alternative
+the paper's Section 6 hints at ("the manager is a single logical point
+of failure"): the same manager API, but worker membership and the load
+table are entries in a majority-replicated log, and only the replica
+holding the current leader lease may beacon hints or accept work.
+
+Layers, bottom up:
+
+* :mod:`repro.consensus.paxos` — single-decree Paxos roles (proposer /
+  acceptor / learner with ballot numbers), pure state machines with no
+  simulator dependency.
+* :mod:`repro.consensus.log` — the multi-Paxos composition: one
+  acceptor/learner per log slot behind a shared promised ballot, with
+  in-order application.
+* :mod:`repro.consensus.replica` — :class:`ManagerReplica`, a
+  :class:`~repro.core.manager.Manager` subclass that speaks Paxos over
+  the SAN multicast, plus :class:`ReplicatedManagerGroup`, the
+  three-replica facade the fabric boots.
+"""
+
+from repro.consensus.log import AcceptorLog, LearnerLog
+from repro.consensus.paxos import (
+    Accepted,
+    AcceptRequest,
+    Acceptor,
+    Chosen,
+    Learner,
+    Prepare,
+    Promise,
+    Proposer,
+    SyncRequest,
+    ballot_owner,
+    ballot_round,
+    make_ballot,
+)
+from repro.consensus.replica import ManagerReplica, ReplicatedManagerGroup
+
+__all__ = [
+    "Accepted",
+    "AcceptRequest",
+    "Acceptor",
+    "AcceptorLog",
+    "Chosen",
+    "Learner",
+    "LearnerLog",
+    "ManagerReplica",
+    "Prepare",
+    "Promise",
+    "Proposer",
+    "ReplicatedManagerGroup",
+    "SyncRequest",
+    "ballot_owner",
+    "ballot_round",
+    "make_ballot",
+]

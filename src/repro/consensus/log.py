@@ -1,0 +1,137 @@
+"""Multi-Paxos: single-decree instances composed into a replicated log.
+
+The composition is the standard one (Chandra et al., "Paxos Made
+Live"): a leader runs phase 1 *once* for all slots at or above its
+first unchosen slot — the acceptor side holds a single ``promised``
+ballot shared by every slot — and then streams phase-2 ``accept``s, one
+per log entry, until deposed.  Each slot still has its own
+single-decree :class:`~repro.consensus.paxos.Acceptor` and
+:class:`~repro.consensus.paxos.Learner`, so the per-decree safety
+argument is untouched; the shared promise is only an optimization that
+lets a stable leader skip phase 1.
+
+Application is strictly in slot order: :class:`LearnerLog` sits on
+chosen values until the prefix below them is complete, which is what
+makes the replicated state machine deterministic across replicas that
+learned entries in different orders.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.consensus.paxos import Acceptor, Learner
+
+__all__ = ["AcceptorLog", "LearnerLog"]
+
+
+class AcceptorLog:
+    """The acceptor role across every slot of the log."""
+
+    def __init__(self) -> None:
+        #: the multi-Paxos shared promise: one ballot covers all slots.
+        self.promised: int = -1
+        self._slots: Dict[int, Acceptor] = {}
+
+    def _slot(self, slot: int) -> Acceptor:
+        acceptor = self._slots.get(slot)
+        if acceptor is None:
+            acceptor = Acceptor()
+            # a fresh slot inherits the log-wide promise
+            acceptor.promised = self.promised
+            self._slots[slot] = acceptor
+        return acceptor
+
+    def on_prepare(self, ballot: int, from_slot: int
+                   ) -> Tuple[bool, Dict[int, Tuple[int, Any]]]:
+        """Handle a bulk prepare for all slots >= ``from_slot``.
+
+        Returns ``(promised, accepted)`` where ``accepted`` maps each
+        already-accepted slot at or above ``from_slot`` to its
+        ``(ballot, value)`` — the payload of the Promise.
+        """
+        if ballot < self.promised:
+            return False, {}
+        self.promised = ballot
+        accepted: Dict[int, Tuple[int, Any]] = {}
+        for slot, acceptor in self._slots.items():
+            if slot < from_slot:
+                continue
+            acceptor.prepare(ballot)
+            if acceptor.accepted_ballot is not None:
+                accepted[slot] = (acceptor.accepted_ballot,
+                                  acceptor.accepted_value)
+        return True, accepted
+
+    def on_accept(self, slot: int, ballot: int, value: Any) -> bool:
+        """Handle one phase-2a accept request."""
+        if ballot < self.promised:
+            return False
+        # a higher-ballot accept implies its prepare reached a quorum
+        # elsewhere; adopting it as the shared promise is safe and
+        # matches the single-acceptor rule
+        self.promised = ballot
+        return self._slot(slot).accept(ballot, value)
+
+
+class LearnerLog:
+    """The learner role across the log, with in-order application.
+
+    ``apply_fn(slot, value)`` is invoked exactly once per slot, in slot
+    order, once the contiguous prefix through that slot is chosen.
+    """
+
+    def __init__(self, quorum: int,
+                 apply_fn: Optional[Callable[[int, Any], None]] = None
+                 ) -> None:
+        self.quorum = quorum
+        self.apply_fn = apply_fn
+        self._slots: Dict[int, Learner] = {}
+        self.chosen: Dict[int, Tuple[int, Any]] = {}
+        #: highest slot such that every slot <= it has been applied.
+        self.applied_through: int = -1
+
+    def _slot(self, slot: int) -> Learner:
+        learner = self._slots.get(slot)
+        if learner is None:
+            learner = Learner(self.quorum)
+            self._slots[slot] = learner
+        return learner
+
+    def first_unchosen(self) -> int:
+        slot = self.applied_through + 1
+        while slot in self.chosen:
+            slot += 1
+        return slot
+
+    def __len__(self) -> int:
+        return len(self.chosen)
+
+    def is_chosen(self, slot: int) -> bool:
+        return slot in self.chosen
+
+    def on_accepted(self, slot: int, sender: str, ballot: int,
+                    value: Any) -> List[int]:
+        """Count one acceptance; returns the slots newly *applied*."""
+        if self._slot(slot).on_accepted(sender, ballot, value):
+            return self._note_chosen(slot)
+        return []
+
+    def on_chosen(self, slot: int, ballot: int, value: Any) -> List[int]:
+        """Adopt a leader's Chosen announcement (catch-up)."""
+        if self._slot(slot).force_chosen(ballot, value):
+            return self._note_chosen(slot)
+        return []
+
+    def _note_chosen(self, slot: int) -> List[int]:
+        learner = self._slots[slot]
+        self.chosen[slot] = (learner.chosen_ballot, learner.chosen_value)
+        applied: List[int] = []
+        next_slot = self.applied_through + 1
+        while next_slot in self.chosen:
+            if self.apply_fn is not None:
+                self.apply_fn(next_slot, self.chosen[next_slot][1])
+            self.applied_through = next_slot
+            applied.append(next_slot)
+            next_slot += 1
+        return applied

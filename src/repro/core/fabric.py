@@ -44,15 +44,31 @@ class SNSFabric:
         service: Any,
         execute_real: bool = False,
         frontend_link_bandwidth_bps: float = 100 * MBPS,
+        manager_backend: str = "soft",
     ) -> None:
+        if manager_backend not in ("soft", "consensus"):
+            raise FabricError(
+                f"unknown manager backend {manager_backend!r}")
         self.cluster = cluster
         self.registry = registry
         self.config = config.validate()
         self.service = service
         self.execute_real = execute_real
         self.frontend_link_bandwidth_bps = frontend_link_bandwidth_bps
+        #: "soft" = the paper's single soft-state manager; "consensus" =
+        #: three Paxos-replicated manager replicas with a leader lease.
+        self.manager_backend = manager_backend
 
         self.manager: Optional[Manager] = None
+        #: consensus backend: the replica group (``manager`` then tracks
+        #: whichever replica currently leads).
+        self.manager_group: Optional[Any] = None
+        #: soft backend: managers deposed for being alive but
+        #: SAN-partitioned away from their peers — they keep running
+        #: (and beaconing a stale view) until they heal and hear their
+        #: successor, which is exactly the split-brain the consensus
+        #: backend exists to rule out.
+        self.deposed_managers: List[Manager] = []
         #: hot standby when the manager runs in process-pair mode.
         self.secondary: Optional[Any] = None
         self.monitor: Optional[Monitor] = None
@@ -94,6 +110,9 @@ class SNSFabric:
         """Start the manager — soft-state-only (the paper's final
         design) or with a process-pair hot standby (the prototype design
         of Section 3.1.3, kept for the ablation)."""
+        if self.manager_backend == "consensus":
+            raise FabricError(
+                "consensus backend: use start_manager_group()")
         if self.manager is not None and self.manager.alive:
             raise FabricError("a manager is already running")
         node = self._place(node)
@@ -147,27 +166,91 @@ class SNSFabric:
         """
         if self._manager_restart_pending:
             return False
-        if self.manager is not None and self.manager.alive:
+        if self.manager_backend == "consensus":
+            # replica elections are the failover mechanism; a front end
+            # cannot (and must not) fork a fourth manager
             return False
+        if self.manager is not None and self.manager.alive:
+            if not self._manager_unreachable_from(requested_by):
+                return False
+            # the manager is alive but on the far side of a SAN
+            # partition: to this front end it is indistinguishable from
+            # dead.  Depose it — it keeps running, and keeps beaconing a
+            # stale view to anyone who can still hear it — and start a
+            # successor on the requester's side.  This *is* split brain;
+            # the soft-state design accepts it, the wrong-decision
+            # counters measure it.
+            self.deposed_managers.append(self.manager)
+            self.manager = None
         self._manager_restart_pending = True
         self.manager_restarts += 1
-        self.cluster.env.process(self._manager_restart())
+        self.cluster.env.process(self._manager_restart(requested_by))
         return True
 
-    def _manager_restart(self):
+    def _manager_unreachable_from(self, requester_name: str) -> bool:
+        partitions = self.cluster.network.partitions
+        if partitions is None or self.manager is None:
+            return False
+        requester_node = self.cluster.locate_node(requester_name)
+        if requester_node is None:
+            return False
+        return not partitions.node_reachable(requester_node,
+                                             self.manager.node.name)
+
+    def _manager_restart(self, requested_by: str = "?"):
         yield self.cluster.env.timeout(SPAWN_DELAY_S)
         try:
             if self.manager is not None and self.manager.alive:
                 return  # a process-pair promotion won the race
             # restart on the old node if it survived, else relocate
             # ("on a different node if necessary")
+            requester_node = self.cluster.locate_node(requested_by)
             node = None
             if self.manager is not None and self.manager.node.up:
                 node = self.manager.node
+                if requester_node is not None and not \
+                        self.cluster._placeable(node, requester_node):
+                    node = None  # old node is across the partition
             self.manager = None
+            if node is None and requester_node is not None:
+                node = self.cluster.free_node(
+                    reachable_from=requester_node)
+                if node is None:
+                    node = self.cluster.least_loaded_node(
+                        reachable_from=requester_node)
             self.start_manager(node)
         finally:
             self._manager_restart_pending = False
+
+    # -- consensus backend ---------------------------------------------------
+
+    def start_manager_group(self,
+                            nodes: Optional[List[Node]] = None) -> Any:
+        """Boot the consensus-replicated manager: one replica per node,
+        on ``config.consensus_replicas`` distinct nodes.
+
+        SAN partitions are first-class here, so the cluster's partition
+        state is installed up front (idempotent, and free when no
+        partition is ever declared).
+        """
+        from repro.consensus.replica import ReplicatedManagerGroup
+        if self.manager_backend != "consensus":
+            raise FabricError("soft backend: use start_manager()")
+        if self.manager_group is not None:
+            raise FabricError("a manager group is already running")
+        self.cluster.install_partitions()
+        count = self.config.consensus_replicas
+        if nodes is None:
+            nodes = [node for node in self.cluster.dedicated_nodes
+                     if node.up][:count]
+        if len(nodes) < count:
+            raise FabricError(
+                f"need {count} up nodes for consensus replicas")
+        group = ReplicatedManagerGroup(self.cluster, self.config, self,
+                                       nodes)
+        group.start()
+        self.manager_group = group
+        return group
 
     # -- front ends ------------------------------------------------------------------
 
@@ -314,10 +397,20 @@ class SNSFabric:
         instance of the system: one front end, one distiller, the
         manager, and some fixed number of cache partitions."
         """
-        if self.manager is None:
+        if self.manager_backend == "consensus":
+            if self.manager_group is None:
+                self.start_manager_group()
+        elif self.manager is None:
             self.start_manager()
         if with_monitor and self.monitor is None:
-            self.start_monitor(node=self.manager.node)
+            if self.manager is not None:
+                monitor_node = self.manager.node
+            else:
+                # consensus boot: no election has run yet (time has not
+                # advanced); co-locate with replica 0, the bootstrap
+                # candidate
+                monitor_node = self.manager_group.replicas[0].node
+            self.start_monitor(node=monitor_node)
         for _ in range(n_frontends):
             self.start_frontend()
         for worker_type, count in (initial_workers or {}).items():

@@ -82,7 +82,7 @@ class FrontEnd(Component):
         self.access_link = access_link
         self.stub = ManagerStub(
             cluster, config, name,
-            cluster.streams.stream(f"lottery:{name}"))
+            cluster.streams.stream(f"lottery:{name}"), node=node)
         # the kernel/TCP serial resource: capacity 1/overhead requests/s
         self.netstack = Link(
             cluster.env, f"{name}.netstack",

@@ -140,12 +140,35 @@ class Manager(Component):
         self._reaping: set = set()
         self.worker_failures_detected = 0
         self.frontend_restarts = 0
+        self.self_depositions = 0
+        self._beacon_subscription = None
 
     # -- processes ------------------------------------------------------------
 
     def _start_processes(self) -> None:
         self.spawn(self._beacon_loop())
         self.spawn(self._policy_loop())
+        if self.config.manager_self_deposition:
+            self.spawn(self._deposition_loop())
+
+    def _deposition_loop(self):
+        """Split-brain damage control for the soft-state manager: if a
+        beacon with a *higher* incarnation arrives, a successor was
+        started while we were unreachable — step down (kill self) rather
+        than keep multicasting a stale view.  This is best-effort (the
+        beacon has to get through), which is exactly the soft-state
+        story; the consensus backend replaces it with leases.
+        """
+        self._beacon_subscription = self.cluster.multicast.group(
+            BEACON_GROUP).subscribe(self.name)
+        while True:
+            beacon = yield self._beacon_subscription.get()
+            if (isinstance(beacon, ManagerBeacon)
+                    and beacon.manager is not self
+                    and beacon.incarnation > self.incarnation):
+                self.self_depositions += 1
+                self.kill()
+                return
 
     def _beacon_loop(self):
         group = self.cluster.multicast.group(BEACON_GROUP)
@@ -327,7 +350,8 @@ class Manager(Component):
 
     def _spawn_worker(self, worker_type: str) -> bool:
         node = self.cluster.free_node(
-            include_overflow=self.config.use_overflow_pool)
+            include_overflow=self.config.use_overflow_pool,
+            reachable_from=self.node.name)
         if node is None:
             node = self._node_with_headroom()
             if node is None:
@@ -345,9 +369,13 @@ class Manager(Component):
         candidates = [
             node for node in self.cluster.dedicated_nodes
             if node.up and node is not self.node
+            and self.cluster._placeable(node, self.node.name)
         ]
         if self.config.use_overflow_pool:
-            candidates += [n for n in self.cluster.overflow_nodes if n.up]
+            candidates += [
+                n for n in self.cluster.overflow_nodes
+                if n.up and self.cluster._placeable(n, self.node.name)
+            ]
         if not candidates:
             return None
         return min(candidates, key=lambda n: len(n.components))
@@ -473,6 +501,9 @@ class Manager(Component):
     # -- crash ------------------------------------------------------------------------------
 
     def _on_crash(self) -> None:
+        if self._beacon_subscription is not None:
+            self._beacon_subscription.cancel()
+            self._beacon_subscription = None
         for info in self.workers.values():
             if info.endpoint is not None:
                 info.endpoint.channel.close()

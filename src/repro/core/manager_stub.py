@@ -73,10 +73,14 @@ class ManagerStub:
     """Beacon cache + lottery scheduler + dispatch engine."""
 
     def __init__(self, cluster: Cluster, config: SNSConfig, owner_name: str,
-                 rng: Stream) -> None:
+                 rng: Stream, node: Optional[Any] = None) -> None:
         self.cluster = cluster
         self.config = config
         self.owner_name = owner_name
+        #: the node hosting the owning front end, when known: lets the
+        #: stub notice that a hint or the manager itself sits on the far
+        #: side of a SAN partition.
+        self.node = node
         self.rng = rng
         #: dedicated stream for retry-backoff jitter: deterministic per
         #: seed+owner, and drawing from it never perturbs the lottery.
@@ -90,6 +94,9 @@ class ManagerStub:
         #: restarted", Section 4.5).  None when no supervisor is wired.
         self.on_worker_timeout: Optional[Any] = None
         self.last_beacon_at: Optional[float] = None
+        #: absolute time through which the current hints are covered by
+        #: a leader lease (consensus beacons only); ``None`` = no bound.
+        self.lease_until: Optional[float] = None
         self.adverts: Dict[str, AdvertState] = {}
         self._next_request_id = 0
         # counters
@@ -99,17 +106,51 @@ class ManagerStub:
         self.worker_errors = 0
         self.deadline_expiries = 0
         self.backoff_waits = 0
+        #: beacons refused for carrying an incarnation lower than one
+        #: already seen (a partitioned-then-healed old manager).
+        self.stale_beacons_rejected = 0
+        #: dispatches routed on a view staler than the consensus
+        #: staleness bound (``consensus_lease_s``).  The soft backend
+        #: racks these up during partitions — it has no bound; the
+        #: consensus stub stalls instead, so it stays at zero.
+        self.wrong_decisions = 0
+        #: pick() refusals because the leader lease had lapsed.
+        self.lease_stalls = 0
+        #: submits that crossed an active SAN partition to a worker the
+        #: front end could not actually reach (accounting only; the
+        #: dispatch timeout does the recovering).
+        self.partition_misroutes = 0
+        #: cumulative seconds dispatches spent waiting with no usable
+        #: hint, and the longest beacon silence observed (the uniform
+        #: failover-latency measure across manager backends).
+        self.stall_s = 0.0
+        self.beacon_gap_max_s = 0.0
 
     # -- beacon intake -----------------------------------------------------------
 
     def observe_beacon(self, beacon: ManagerBeacon) -> bool:
         """Update caches from a manager beacon; returns True when this is
-        a new manager incarnation (the front end must re-register)."""
+        a new manager incarnation (the front end must re-register).
+
+        Beacons with an incarnation *lower* than one already seen are
+        rejected outright: a manager that was partitioned away and
+        healed back keeps beaconing its old incarnation, and letting it
+        roll the stub's view back would resurrect dead hints and
+        re-register the front end with a deposed manager.
+        """
         now = self.cluster.env.now
+        if (self.manager_incarnation is not None
+                and beacon.incarnation < self.manager_incarnation):
+            self.stale_beacons_rejected += 1
+            return False
+        if self.last_beacon_at is not None:
+            self.beacon_gap_max_s = max(self.beacon_gap_max_s,
+                                        now - self.last_beacon_at)
         self.last_beacon_at = now
         new_incarnation = beacon.incarnation != self.manager_incarnation
         self.manager = beacon.manager
         self.manager_incarnation = beacon.incarnation
+        self.lease_until = beacon.lease_until
         if self.config.balancing == "distributed":
             # balancing state comes from the workers' own announcements;
             # the beacon is only manager discovery here
@@ -152,12 +193,24 @@ class ManagerStub:
         return [state for state in self.adverts.values()
                 if state.advert.worker_type == worker_type]
 
+    def hints_usable(self, now: float) -> bool:
+        """Is the cached view inside its staleness bound?  Soft-state
+        beacons carry no bound (always usable, however stale); a
+        consensus leader's hints expire with its lease."""
+        return self.lease_until is None or now <= self.lease_until
+
     def pick(self, worker_type: str) -> Optional[AdvertState]:
         """Lottery scheduling over the cached (possibly stale) hints."""
+        now = self.cluster.env.now
+        if not self.hints_usable(now):
+            # the lease lapsed: routing on these hints would be a
+            # minority-view decision, so stall until a live leader
+            # beacons again
+            self.lease_stalls += 1
+            return None
         candidates = self.candidates(worker_type)
         if not candidates:
             return None
-        now = self.cluster.env.now
         weights = [
             1.0 / (1.0 + state.effective_queue(
                 now, self.config.estimate_queue_deltas))
@@ -264,10 +317,13 @@ class ManagerStub:
                 if span is not None:
                     span.record("san-transfer", "network", mark,
                                 bytes=input_bytes)
-                if not state.advert.stub.submit(envelope):
-                    # queue full: connection refused, try another worker now
-                    self.adverts.pop(state.advert.worker_name, None)
-                    continue
+                if not self._account_submit(state):
+                    # not partition-blocked: the submit actually arrives
+                    if not state.advert.stub.submit(envelope):
+                        # queue full: connection refused, try another
+                        # worker now
+                        self.adverts.pop(state.advert.worker_name, None)
+                        continue
                 state.sent_since_report += 1
                 timer = env.timeout(max(0.0, min(
                     config.dispatch_timeout_s, deadline_at - env.now)))
@@ -299,28 +355,69 @@ class ManagerStub:
             if span is not None:
                 span.finish()
 
+    def _account_submit(self, state: AdvertState) -> bool:
+        """Classify one imminent submit; True when a SAN partition
+        blackholes it (the caller must not deliver — the dispatch
+        timeout does the recovering).
+
+        ``wrong_decisions`` counts routing on a view staler than the
+        consensus staleness bound — the decision a lease-holding leader
+        would never have let happen.  ``partition_misroutes`` counts
+        submits that cross an active SAN partition to a worker the front
+        end cannot actually reach.
+        """
+        now = self.cluster.env.now
+        if (self.lease_until is None and self.last_beacon_at is not None
+                and now - self.last_beacon_at
+                > self.config.consensus_lease_s):
+            self.wrong_decisions += 1
+        partitions = self.cluster.network.partitions
+        if (partitions is not None and self.node is not None
+                and not partitions.node_reachable(
+                    self.node.name, state.advert.node_name)):
+            self.partition_misroutes += 1
+            return True
+        return False
+
+    def _manager_reachable(self, manager: Any) -> bool:
+        """Can this front end talk to the manager right now?  Direct
+        locate-worker calls must not pretend to cross a partition."""
+        partitions = self.cluster.network.partitions
+        if partitions is None or self.node is None:
+            return True
+        manager_node = getattr(manager, "node", None)
+        if manager_node is None:
+            return True
+        return partitions.node_reachable(self.node.name,
+                                         manager_node.name)
+
     def _wait_for_worker(self, worker_type: str,
                          deadline_at: Optional[float] = None):
         """No cached hint: ask the manager (triggering an on-demand
         spawn) and poll until an advert appears or the budget runs out."""
         env = self.cluster.env
+        started_at = env.now
         deadline = env.now + self.config.dispatch_timeout_s
         if deadline_at is not None:
             deadline = min(deadline, deadline_at)
-        while env.now < deadline:
-            manager = self.manager
-            if manager is not None:
-                advert = manager.request_worker(worker_type)
-                if advert is not None:
-                    now = env.now
-                    name = advert.worker_name
-                    if name in self.adverts:
-                        self.adverts[name].refresh(advert, now)
-                    else:
-                        self.adverts[name] = AdvertState(advert, now)
-                    return self.adverts[name]
-            yield env.timeout(self.config.beacon_interval_s)
-            state = self.pick(worker_type)
-            if state is not None:
-                return state
-        return None
+        try:
+            while env.now < deadline:
+                manager = self.manager
+                if manager is not None \
+                        and self._manager_reachable(manager):
+                    advert = manager.request_worker(worker_type)
+                    if advert is not None:
+                        now = env.now
+                        name = advert.worker_name
+                        if name in self.adverts:
+                            self.adverts[name].refresh(advert, now)
+                        else:
+                            self.adverts[name] = AdvertState(advert, now)
+                        return self.adverts[name]
+                yield env.timeout(self.config.beacon_interval_s)
+                state = self.pick(worker_type)
+                if state is not None:
+                    return state
+            return None
+        finally:
+            self.stall_s += env.now - started_at

@@ -24,11 +24,16 @@ MONITOR_GROUP = "sns.monitor.reports"
 #: used only by the *distributed* balancing ablation (Section 2.2.2):
 #: workers announce their own load to every front end, manager-free.
 WORKER_ANNOUNCE_GROUP = "sns.worker.announcements"
+#: Paxos traffic between manager replicas (consensus backend only).
+#: Rides the same unreliable multicast as the beacons — the protocol,
+#: not the transport, provides the reliability.
+CONSENSUS_GROUP = "sns.manager.consensus"
 
 #: Nominal wire sizes (bytes) used for SAN accounting.
 BEACON_BYTES = 512
 REPORT_BYTES = 96
 REGISTER_BYTES = 160
+CONSENSUS_BYTES = 224
 
 
 @dataclass
@@ -74,6 +79,11 @@ class ManagerBeacon:
     manager: Any
     sent_at: float
     adverts: Dict[str, WorkerAdvert] = field(default_factory=dict)
+    #: consensus backend only: absolute sim time through which the
+    #: sending leader holds the majority lease.  Stubs must not route on
+    #: these hints past this time (they stall instead); ``None`` means
+    #: the soft-state manager, which promises no staleness bound.
+    lease_until: Optional[float] = None
 
     def adverts_of_type(self, worker_type: str) -> Dict[str, WorkerAdvert]:
         return {

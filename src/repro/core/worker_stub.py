@@ -71,6 +71,11 @@ class WorkerStub(Component):
         self._in_service_cost_s = 0.0
         self._manager_endpoint = None
         self._registered_incarnation: Optional[int] = None
+        #: highest manager incarnation ever heard: beacons below it come
+        #: from a deposed manager (partitioned away, then healed back)
+        #: and must not win the worker's registration.
+        self._highest_incarnation: int = -1
+        self.stale_beacons_ignored = 0
         # counters
         self.served = 0
         self.failed = 0
@@ -325,6 +330,13 @@ class WorkerStub(Component):
                 beacon: ManagerBeacon = yield subscription.get()
                 if self.is_partitioned:
                     continue  # datagrams do not cross the partition
+                if beacon.incarnation < self._highest_incarnation:
+                    # a lower incarnation means a deposed manager is
+                    # still (or again) beaconing: never re-register
+                    # backwards
+                    self.stale_beacons_ignored += 1
+                    continue
+                self._highest_incarnation = beacon.incarnation
                 if beacon.incarnation == self._registered_incarnation:
                     continue
                 yield from self._register(beacon)

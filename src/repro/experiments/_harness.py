@@ -182,9 +182,13 @@ def build_bench_fabric(
     n_bricks: int = 3,
     brick_replicas: int = 2,
     brick_ledger: Any = None,
+    manager_backend: Optional[str] = None,
 ) -> SNSFabric:
-    """Assemble the bench fabric; ``profile_backend`` opts into a real
-    profile store on the request path:
+    """Assemble the bench fabric; ``manager_backend`` selects the
+    control plane (``None``/``"soft"`` = the paper's single soft-state
+    manager, ``"consensus"`` = the Paxos-replicated manager group) and
+    ``profile_backend`` opts into a real profile store on the request
+    path:
 
     * ``None`` — the classic harness: no profile reads (the scalability
       benchmarks' shape, byte-identical to before this option existed);
@@ -220,7 +224,8 @@ def build_bench_fabric(
         raise ValueError(f"unknown profile backend {profile_backend!r}")
     fabric = SNSFabric(
         cluster, registry, (config or SNSConfig()).validate(), service,
-        frontend_link_bandwidth_bps=frontend_link_bandwidth_bps)
+        frontend_link_bandwidth_bps=frontend_link_bandwidth_bps,
+        manager_backend=manager_backend or "soft")
     fabric.profile_store = store
     fabric.profile_bricks = bricks
     return fabric

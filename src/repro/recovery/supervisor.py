@@ -121,6 +121,18 @@ class Supervisor(Component):
         population = getattr(self.fabric, "brick_population", None)
         return population() if population is not None else {}
 
+    def _san_partitioned(self, stub) -> bool:
+        """True when the SAN partition model says this component's node
+        is cut off from the supervisor's.  Restarting it would be a
+        wrong decision — the process is healthy, only the network
+        between us is gone — and the re-fork would double the worker
+        the moment the partition heals."""
+        partitions = getattr(self.cluster.network, "partitions", None)
+        if partitions is None:
+            return False
+        return not partitions.node_reachable(self.node.name,
+                                             stub.node.name)
+
     def _probe_one(self, stub):
         policy = self.policy
         reply = stub.probe_reply()
@@ -129,7 +141,8 @@ class Supervisor(Component):
             # unless the stub visibly died (the manager's job, not
             # ours) — count a probe failure
             yield self.env.timeout(policy.probe_timeout_s)
-            if stub.alive and not stub.is_partitioned and stub.node.up:
+            if stub.alive and not stub.is_partitioned and stub.node.up \
+                    and not self._san_partitioned(stub):
                 self._probe_failed(stub, "probe never answered")
             else:
                 self._probe_failures.pop(stub.name, None)
@@ -178,7 +191,8 @@ class Supervisor(Component):
             return
         stub = self.fabric.workers.get(worker_name)
         if stub is None or not stub.alive or stub.is_partitioned \
-                or worker_name in self._restarting:
+                or worker_name in self._restarting \
+                or self._san_partitioned(stub):
             return
         now = self.env.now
         events = [t for t in self._rpc_timeouts.get(worker_name, [])

@@ -13,7 +13,7 @@ from typing import Dict, List, Optional
 
 from repro.sim.kernel import Environment
 from repro.sim.multicast import MulticastBus
-from repro.sim.network import MBPS, AccessLink, Network
+from repro.sim.network import MBPS, AccessLink, Network, PartitionState
 from repro.sim.node import Node
 from repro.sim.rng import RandomStreams
 
@@ -68,6 +68,23 @@ class Cluster:
                         bandwidth_bps: float = 100 * MBPS) -> AccessLink:
         return self.network.add_access_link(name, bandwidth_bps)
 
+    def locate_node(self, component_name: str) -> Optional[str]:
+        """Name of the node hosting ``component_name``, if any.
+
+        This is the SAN-partition model's resolver: multicast and
+        channel deliveries map component names to nodes through it to
+        decide which side of a split each party sits on.
+        """
+        for node in self.nodes.values():
+            if component_name in node.components:
+                return node.name
+        return None
+
+    def install_partitions(self) -> PartitionState:
+        """Attach (or return) the SAN-partition model, wired to this
+        cluster's component registry."""
+        return self.network.install_partitions(self.locate_node)
+
     # -- node selection (used by the manager when spawning workers) ----------
 
     @property
@@ -78,29 +95,53 @@ class Cluster:
     def overflow_nodes(self) -> List[Node]:
         return [n for n in self.nodes.values() if n.overflow]
 
-    def free_node(self, include_overflow: bool = False) -> Optional[Node]:
+    def _placeable(self, node: Node,
+                   reachable_from: Optional[str]) -> bool:
+        """Is ``node`` bidirectionally reachable from the named node?
+
+        Placement must never pick a node the placer cannot talk to: a
+        worker spawned across a partition would register into the void
+        and a worker the manager cannot hear from is dead weight, so
+        both directions are required.
+        """
+        if reachable_from is None:
+            return True
+        partitions = self.network.partitions
+        if partitions is None:
+            return True
+        return (partitions.node_reachable(reachable_from, node.name)
+                and partitions.node_reachable(node.name, reachable_from))
+
+    def free_node(self, include_overflow: bool = False,
+                  reachable_from: Optional[str] = None) -> Optional[Node]:
         """A node with nothing running on it, dedicated pool first.
 
         The paper's manager "can automatically spawn a new distiller on an
         unused node"; when the dedicated pool is exhausted it "can resort
         to starting up temporary distillers on a set of overflow nodes".
+        ``reachable_from`` (a node name) additionally excludes nodes
+        partitioned away from the placer.
         """
         for node in self.dedicated_nodes:
-            if node.is_free:
+            if node.is_free and self._placeable(node, reachable_from):
                 return node
         if include_overflow:
             for node in self.overflow_nodes:
-                if node.is_free:
+                if node.is_free and self._placeable(node, reachable_from):
                     return node
         return None
 
-    def least_loaded_node(self, include_overflow: bool = False) -> Node:
-        """The up node hosting the fewest components (fallback placement)."""
+    def least_loaded_node(self, include_overflow: bool = False,
+                          reachable_from: Optional[str] = None) -> Node:
+        """The up, unquarantined, reachable node hosting the fewest
+        components (fallback placement)."""
         candidates = [n for n in self.dedicated_nodes
-                      if n.up and not n.quarantined]
+                      if n.up and not n.quarantined
+                      and self._placeable(n, reachable_from)]
         if include_overflow:
             candidates += [n for n in self.overflow_nodes
-                           if n.up and not n.quarantined]
+                           if n.up and not n.quarantined
+                           and self._placeable(n, reachable_from)]
         if not candidates:
             raise ClusterError("no nodes available")
         return min(candidates, key=lambda n: len(n.components))

@@ -66,6 +66,9 @@ class MulticastGroup:
         #: from saturation drops, which the paper's baseline produces).
         self.fault_dropped = 0
         self.fault_duplicated = 0
+        #: copies blocked by an active SAN partition (the sender and the
+        #: subscriber sat on opposite sides of the split).
+        self.partition_dropped = 0
 
     def subscribe(self, subscriber_name: str) -> Subscription:
         queue = self.env.queue(self.mailbox_capacity)
@@ -87,7 +90,16 @@ class MulticastGroup:
         """
         self.published += 1
         faults = self.network.faults
+        partitions = self.network.partitions
         for subscription in list(self._subscriptions):
+            if partitions is not None and not partitions.reachable(
+                    sender, subscription.name):
+                # datagram blackholed at the partitioned switch; no
+                # bandwidth charged, no randomness drawn
+                self.dropped += 1
+                self.partition_dropped += 1
+                partitions.multicast_blocked += 1
+                continue
             drop_probability = self.network.multicast_drop_probability()
             if drop_probability > 0 and self.rng.random() < drop_probability:
                 self.dropped += 1

@@ -16,7 +16,7 @@ column) and the multicast drop probability (for the 10 Mb/s experiment).
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Dict, List, Optional, Tuple
+from typing import Callable, Deque, Dict, List, Optional, Tuple
 
 from repro.sim.kernel import Environment
 from repro.sim.rng import Stream
@@ -196,6 +196,163 @@ class NetworkFaults:
         return penalty
 
 
+class SplitWindow:
+    """A time-bounded split of the SAN into isolated node groups.
+
+    ``groups`` maps node names to group labels; nodes absent from the
+    map sit in the implicit default group ``""`` (the "rest of the
+    cluster").  Two nodes can talk only while they share a group under
+    every active split.
+    """
+
+    def __init__(self, groups: Dict[str, str], start: float,
+                 end: Optional[float]) -> None:
+        if end is not None and end < start:
+            raise ValueError("split ends before it starts")
+        self.groups = dict(groups)
+        self.start = start
+        self.end = end
+
+    def active_at(self, now: float) -> bool:
+        return self.start <= now and (self.end is None or now < self.end)
+
+    def __repr__(self) -> str:
+        end = "∞" if self.end is None else f"{self.end:.1f}"
+        return (f"<SplitWindow [{self.start:.1f},{end}) "
+                f"{sorted(set(self.groups.values()))} vs rest>")
+
+
+class CutWindow:
+    """A time-bounded one-way reachability cut: ``src`` cannot reach
+    ``dst``, while the reverse direction stays up (asymmetric link
+    failure — the classic gray switch fault)."""
+
+    def __init__(self, src: str, dst: str, start: float,
+                 end: Optional[float]) -> None:
+        if end is not None and end < start:
+            raise ValueError("cut ends before it starts")
+        self.src = src
+        self.dst = dst
+        self.start = start
+        self.end = end
+
+    def active_at(self, now: float) -> bool:
+        return self.start <= now and (self.end is None or now < self.end)
+
+    def __repr__(self) -> str:
+        end = "∞" if self.end is None else f"{self.end:.1f}"
+        return (f"<CutWindow {self.src}-/->{self.dst} "
+                f"[{self.start:.1f},{end})>")
+
+
+class PartitionState:
+    """Declarative SAN partitions: node-group splits and one-way cuts.
+
+    The paper's testbed treated the SAN as a perfect fabric; the one
+    fault class that actually breaks centralized soft state — a network
+    partition that leaves both sides alive — was never modelled.  This
+    object holds the partition schedule as declarative windows with
+    absolute end times (no simulation processes, no randomness): the
+    message layers consult :meth:`reachable` per delivery only while a
+    partition object is installed, so fault-free runs pay nothing.
+
+    Component names (``fe0``, ``worker:jpeg-distiller:3``) are resolved
+    to node names through ``resolver`` (the cluster's component
+    registry); unresolvable names are treated as reachable.
+    """
+
+    def __init__(self, env: Environment,
+                 resolver: Optional[Callable[[str], Optional[str]]] = None
+                 ) -> None:
+        self.env = env
+        self._resolver = resolver
+        self._splits: List[SplitWindow] = []
+        self._cuts: List[CutWindow] = []
+        # counters for chaos reports
+        self.multicast_blocked = 0
+        self.channel_blocked = 0
+
+    # -- declaring partitions ------------------------------------------------
+
+    def split(self, groups: Dict[str, str],
+              start: Optional[float] = None,
+              duration_s: Optional[float] = None) -> SplitWindow:
+        """Split the SAN: nodes reach each other only within a group.
+
+        Nodes absent from ``groups`` form the implicit default group.
+        Defaults to starting now and lasting until :meth:`heal`.
+        """
+        begin = self.env.now if start is None else start
+        if begin < self.env.now:
+            raise ValueError(f"partition start {begin} is in the past")
+        end = None if duration_s is None else begin + duration_s
+        window = SplitWindow(groups, begin, end)
+        self._splits.append(window)
+        return window
+
+    def one_way(self, src_node: str, dst_node: str,
+                start: Optional[float] = None,
+                duration_s: Optional[float] = None) -> CutWindow:
+        """Cut reachability from ``src_node`` to ``dst_node`` only."""
+        begin = self.env.now if start is None else start
+        if begin < self.env.now:
+            raise ValueError(f"cut start {begin} is in the past")
+        end = None if duration_s is None else begin + duration_s
+        window = CutWindow(src_node, dst_node, begin, end)
+        self._cuts.append(window)
+        return window
+
+    def heal(self) -> None:
+        """End every split and cut as of now."""
+        now = self.env.now
+        for window in self._splits + self._cuts:
+            if window.end is None or window.end > now:
+                window.end = now
+
+    def active(self) -> bool:
+        now = self.env.now
+        return any(w.active_at(now) for w in self._splits) or \
+            any(w.active_at(now) for w in self._cuts)
+
+    def final_heal_time(self) -> float:
+        """Latest declared window end (open windows never heal)."""
+        latest = 0.0
+        for window in self._splits + self._cuts:
+            if window.end is None:
+                return float("inf")
+            latest = max(latest, window.end)
+        return latest
+
+    # -- consulted by the message layers -------------------------------------
+
+    def node_reachable(self, src_node: str, dst_node: str) -> bool:
+        """Can a message flow from ``src_node`` to ``dst_node`` now?"""
+        if src_node == dst_node:
+            return True     # local delivery never crosses the SAN
+        now = self.env._now
+        for window in self._splits:
+            if window.active_at(now):
+                groups = window.groups
+                if groups.get(src_node, "") != groups.get(dst_node, ""):
+                    return False
+        for window in self._cuts:
+            if window.active_at(now) and window.src == src_node \
+                    and window.dst == dst_node:
+                return False
+        return True
+
+    def reachable(self, src_component: str, dst_component: str) -> bool:
+        """Component-name reachability via the installed resolver."""
+        resolver = self._resolver
+        if resolver is None:
+            return True
+        src_node = resolver(src_component)
+        dst_node = resolver(dst_component)
+        if src_node is None or dst_node is None:
+            return True
+        return self.node_reachable(src_node, dst_node)
+
+
 class UtilizationMeter:
     """Windowed byte-rate meter over fixed-size time buckets."""
 
@@ -326,6 +483,9 @@ class Network:
         #: optional lossy-SAN fault model; ``None`` keeps the baseline
         #: perfectly reliable SAN (and draws no randomness).
         self.faults: Optional[NetworkFaults] = None
+        #: optional SAN-partition model; ``None`` keeps the baseline
+        #: fully connected SAN (and costs nothing per message).
+        self.partitions: Optional[PartitionState] = None
         #: Section 4.6's proposed fix: "the addition of a low-speed
         #: utility network to isolate control traffic from data traffic,
         #: allowing the system to more gracefully handle (and perhaps
@@ -338,6 +498,17 @@ class Network:
         if self.faults is None:
             self.faults = NetworkFaults(self.env, rng)
         return self.faults
+
+    def install_partitions(
+        self,
+        resolver: Optional[Callable[[str], Optional[str]]] = None,
+    ) -> PartitionState:
+        """Attach (or return the existing) SAN-partition model."""
+        if self.partitions is None:
+            self.partitions = PartitionState(self.env, resolver)
+        elif resolver is not None:
+            self.partitions._resolver = resolver
+        return self.partitions
 
     def add_utility_network(self, bandwidth_bps: float = 10 * MBPS,
                             latency_s: float = 0.001) -> Link:

@@ -50,6 +50,16 @@ class Endpoint:
         """
         if not self.channel.open:
             raise ChannelClosed(self.channel.describe())
+        partitions = self.channel.network.partitions
+        if partitions is not None and not partitions.reachable(
+                self.name, self.peer.name):
+            # The segment is blackholed at the partitioned switch: the
+            # connection stays "open" (neither side learns anything),
+            # and the receiver's silence-based failure detectors — load
+            # report expiry, dispatch timeouts — take over, exactly the
+            # ambiguity a real partition creates.
+            partitions.channel_blocked += 1
+            return
         delay = self.channel.network.transfer_delay(size_bytes)
         faults = self.channel.network.faults
         if faults is not None:

@@ -1,0 +1,143 @@
+"""The consensus-replicated manager on the sim fabric.
+
+Three manager replicas run a multi-Paxos log whose entries are worker
+membership and load-table snapshots; the leader holds a majority lease
+and is the only replica that beacons, accepts registrations, or hands
+out dispatch hints.  These tests cover the election on boot, the
+leader-only surface, failover when the leader dies or is partitioned
+away, and the lease-bounded hint contract the manager stubs rely on.
+"""
+
+import pytest
+
+from repro.core.fabric import FabricError
+from tests.core.conftest import fast_config, make_fabric
+
+
+def consensus_fabric(n_nodes=10, seed=7, **overrides):
+    return make_fabric(n_nodes=n_nodes, seed=seed,
+                       config=fast_config(**overrides),
+                       manager_backend="consensus")
+
+
+def test_boot_elects_a_leader_and_registers_workers():
+    fabric = consensus_fabric()
+    fabric.boot(n_frontends=1, initial_workers={"test-worker": 2})
+    fabric.cluster.run(until=4.0)
+    group = fabric.manager_group
+    assert group is not None and len(group.replicas) == 3
+    leader = group.leader
+    assert leader is not None and leader.is_active_leader()
+    # the fabric's manager handle tracks the leader for monitors/tools
+    assert fabric.manager is leader
+    # workers registered with the leader and entered the replicated log
+    assert len(leader.workers) == 2
+    assert set(leader.member_workers) == set(leader.workers)
+    stats = group.stats()
+    assert stats["replicas"] == 3
+    assert stats["elections"] >= 1
+    assert stats["log_length"] > 0
+
+
+def test_replicas_on_distinct_nodes_and_backend_guards():
+    fabric = consensus_fabric()
+    fabric.boot(n_frontends=1, initial_workers={"test-worker": 1})
+    nodes = {replica.node.name
+             for replica in fabric.manager_group.replicas}
+    assert len(nodes) == 3  # no two replicas share a failure domain
+    with pytest.raises(FabricError):
+        fabric.start_manager()  # the soft path is closed in this mode
+    soft = make_fabric(n_nodes=8, config=fast_config())
+    with pytest.raises(FabricError):
+        soft.start_manager_group()
+
+
+def test_followers_refuse_the_leader_surface():
+    fabric = consensus_fabric()
+    fabric.boot(n_frontends=1, initial_workers={"test-worker": 1})
+    fabric.cluster.run(until=4.0)
+    group = fabric.manager_group
+    followers = [replica for replica in group.alive_replicas()
+                 if not replica.is_active_leader()]
+    assert followers
+    for follower in followers:
+        assert follower.request_worker("test-worker") is None
+
+
+def test_leader_crash_fails_over_and_replica_restarts():
+    fabric = consensus_fabric()
+    fabric.boot(n_frontends=1, initial_workers={"test-worker": 2})
+    fabric.cluster.run(until=4.0)
+    group = fabric.manager_group
+    first = group.leader
+    first.kill()
+    fabric.cluster.run(until=12.0)
+    second = group.leader
+    assert second is not None and second is not first
+    assert second.is_active_leader()
+    # the new regime carries the committed membership forward: its
+    # beacons re-attract the workers without losing the pool
+    assert len(second.workers) == 2
+    # the group supervisor restarted the dead replica as a follower
+    assert len(group.alive_replicas()) == 3
+    assert group.stats()["elections"] >= 2
+    assert group.safety_violations() == []
+
+
+def test_partitioned_leader_loses_lease_not_split_brain():
+    """Both sides alive across a partition: the majority elects a new
+    leader, the minority's lease lapses, and at no sampled instant do
+    two replicas both hold an active lease."""
+    fabric = consensus_fabric(n_nodes=12)
+    fabric.boot(n_frontends=1, initial_workers={"test-worker": 2})
+    fabric.cluster.run(until=3.0)
+    group = fabric.manager_group
+    first = group.leader
+    partitions = fabric.cluster.install_partitions()
+    partitions.split({first.node.name: "isolated"}, duration_s=15.0)
+    for step in range(40):  # sample every 0.5s through fault and heal
+        fabric.cluster.run(until=3.5 + 0.5 * step)
+        active = [replica for replica in group.alive_replicas()
+                  if replica.is_active_leader()]
+        assert len(active) <= 1, f"two leaders at {fabric.cluster.env.now}"
+    assert group.leader is not first  # the majority moved on
+    assert first.alive  # the old leader was never killed, only fenced
+    assert group.safety_violations() == []
+
+
+def test_beacons_carry_the_lease_and_stubs_honor_it():
+    fabric = consensus_fabric()
+    fabric.boot(n_frontends=1, initial_workers={"test-worker": 2})
+    fabric.cluster.run(until=4.0)
+    frontend = fabric.alive_frontends()[0]
+    stub = frontend.stub
+    now = fabric.cluster.env.now
+    assert stub.lease_until is not None and stub.lease_until > now
+    assert stub.hints_usable(now)
+    # past the lease bound the stub must stall rather than guess
+    assert not stub.hints_usable(stub.lease_until + 0.001)
+    before = stub.lease_stalls
+    leader = fabric.manager_group.leader
+    leader.kill()
+    fabric.cluster.run(until=now + 2.0)  # inside the old lease window
+    record_pick = stub.pick("test-worker")
+    # either a new lease arrived already or the pick stalled; both are
+    # lease-safe — what must never happen is routing on a lapsed lease
+    if record_pick is None:
+        assert stub.lease_stalls >= before
+    fabric.cluster.run(until=now + 12.0)
+    assert fabric.manager_group.leader is not None
+    assert stub.lease_until is not None
+
+
+def test_tick_entries_replicate_the_load_table():
+    fabric = consensus_fabric()
+    fabric.boot(n_frontends=1, initial_workers={"test-worker": 2})
+    fabric.cluster.run(until=6.0)
+    group = fabric.manager_group
+    leader = group.leader
+    followers = [replica for replica in group.alive_replicas()
+                 if replica is not leader]
+    assert leader.load_table  # ticked snapshots of worker queue state
+    for follower in followers:
+        assert set(follower.member_workers) == set(leader.member_workers)
