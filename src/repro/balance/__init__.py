@@ -1,0 +1,42 @@
+"""Pluggable routing policies for worker selection (ROADMAP item 1).
+
+``build_policy(config.routing_policy, config, rng)`` is the single
+entry point the manager stub uses; everything else is the registry and
+the implementations.
+"""
+
+from repro.balance.ejection import OutlierEjector
+from repro.balance.policies import (
+    POLICIES,
+    BoundedLoadHashPolicy,
+    EwmaLatencyPolicy,
+    LeastOutstandingPolicy,
+    LotteryPolicy,
+    PolicyError,
+    PowerOfTwoPolicy,
+    RoundRobinPolicy,
+    RoutingPolicy,
+    WeightedCanaryPolicy,
+    available_policies,
+    build_policy,
+    parse_policy_spec,
+    request_key,
+)
+
+__all__ = [
+    "POLICIES",
+    "BoundedLoadHashPolicy",
+    "EwmaLatencyPolicy",
+    "LeastOutstandingPolicy",
+    "LotteryPolicy",
+    "OutlierEjector",
+    "PolicyError",
+    "PowerOfTwoPolicy",
+    "RoundRobinPolicy",
+    "RoutingPolicy",
+    "WeightedCanaryPolicy",
+    "available_policies",
+    "build_policy",
+    "parse_policy_spec",
+    "request_key",
+]

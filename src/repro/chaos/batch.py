@@ -37,20 +37,24 @@ __all__ = ["CampaignBatchReport", "batch_seeds", "run_campaign_batch",
 
 def run_campaign_shard(name: str, seed: int,
                        profile_backend: Optional[str] = None,
-                       manager_backend: Optional[str] = None
+                       manager_backend: Optional[str] = None,
+                       routing_policy: Optional[str] = None
                        ) -> ChaosReport:
     """One batch unit: build and run ``name`` under ``seed``.
 
     Module-level so :class:`ShardSpec` can pickle it into worker
-    processes.  ``profile_backend`` and ``manager_backend`` override the
-    campaign's configured backends (the CLI's ``--profile-backend`` /
-    ``--manager-backend`` switches).
+    processes.  ``profile_backend``, ``manager_backend``, and
+    ``routing_policy`` override the campaign's configured backends and
+    worker-selection policy (the CLI's ``--profile-backend`` /
+    ``--manager-backend`` / ``--policy`` switches).
     """
     campaign = get_campaign(name)
     if profile_backend is not None:
         campaign.profile_backend = profile_backend
     if manager_backend is not None:
         campaign.manager_backend = manager_backend
+    if routing_policy is not None:
+        campaign.routing_policy = routing_policy
     return CampaignRunner(campaign, seed=seed).run()
 
 
@@ -186,6 +190,7 @@ def run_campaign_batch(name: str, master_seed: int = 1997,
                        runs: int = 1, jobs: int = 1, *,
                        profile_backend: Optional[str] = None,
                        manager_backend: Optional[str] = None,
+                       routing_policy: Optional[str] = None,
                        timeout_s: Optional[float] = None,
                        retries: int = 0,
                        progress=None) -> CampaignBatchReport:
@@ -201,7 +206,8 @@ def run_campaign_batch(name: str, master_seed: int = 1997,
     specs = [
         ShardSpec(shard_id=f"{name}#run{index}:seed={seed}",
                   fn=run_campaign_shard,
-                  args=(name, seed, profile_backend, manager_backend))
+                  args=(name, seed, profile_backend, manager_backend,
+                        routing_policy))
         for index, seed in enumerate(seeds)
     ]
     sweep = run_sharded(specs, jobs=jobs, timeout_s=timeout_s,

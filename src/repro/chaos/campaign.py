@@ -383,6 +383,11 @@ class Campaign:
     #: single soft-state manager, "consensus" the Paxos-replicated
     #: manager group (the CLI's ``--manager-backend`` switch).
     manager_backend: Optional[str] = None
+    #: worker-selection policy at the manager stubs (a
+    #: :mod:`repro.balance` spec, e.g. ``"p2c"`` or ``"ewma+eject"``;
+    #: the CLI's ``--policy`` switch).  None keeps the config default
+    #: (the paper's lottery), under either manager backend.
+    routing_policy: Optional[str] = None
     n_bricks: int = 3
     brick_replicas: int = 2
     #: period of the deterministic profile-writer client (only runs
@@ -446,7 +451,8 @@ class CampaignRunner:
             profile_backend=campaign.profile_backend,
             n_bricks=campaign.n_bricks,
             brick_replicas=campaign.brick_replicas,
-            manager_backend=campaign.manager_backend)
+            manager_backend=campaign.manager_backend,
+            routing_policy=campaign.routing_policy)
         self.cluster = self.fabric.cluster
         self.env = self.cluster.env
         self.faults = self.cluster.network.install_faults(

@@ -40,6 +40,7 @@ from repro.experiments import (
     run_hotbot_degradation,
     run_hotbot_throughput,
     run_manager_capacity,
+    run_policy_sweep,
     run_population_sweep,
     run_san_saturation,
     run_table1,
@@ -48,7 +49,9 @@ from repro.experiments import (
 
 #: name -> (description, full-scale runner, quick runner).
 #: Runners take (seed, jobs) and return printable text; experiments
-#: without independent inner units simply ignore ``jobs``.
+#: without independent inner units simply ignore ``jobs``.  Runners of
+#: the experiments in :data:`POLICY_AWARE` additionally accept a
+#: ``policy`` keyword (the ``--policy`` flag).
 EXPERIMENTS: Dict[str, Tuple[str, Callable, Callable]] = {
     "figure5": (
         "content-size distributions (Figure 5)",
@@ -135,6 +138,15 @@ EXPERIMENTS: Dict[str, Tuple[str, Callable, Callable]] = {
             offered_qps=30.0, duration_s=20.0, n_workers=8,
             n_docs=1500, seed=seed),
     ),
+    "policies": (
+        "routing-policy tail-latency sweep (repro.balance)",
+        lambda seed, jobs=1, policy=None: run_policy_sweep(
+            policies=[policy] if policy else None,
+            seed=seed, jobs=jobs),
+        lambda seed, jobs=1, policy=None: run_policy_sweep(
+            policies=[policy] if policy else None,
+            n_requests=20_000, seed=seed, jobs=jobs),
+    ),
     "economics": (
         "economic feasibility (Section 5.2)",
         lambda seed, jobs=1: run_economics(seed=seed),
@@ -147,6 +159,9 @@ EXPERIMENTS: Dict[str, Tuple[str, Callable, Callable]] = {
         lambda seed, jobs=1: run_endtoend(n_requests=150, seed=seed),
     ),
 }
+
+#: experiments whose runners accept the ``--policy`` override.
+POLICY_AWARE = frozenset({"policies"})
 
 
 def _render(result) -> str:
@@ -181,6 +196,11 @@ def build_parser() -> argparse.ArgumentParser:
                                  "across N worker processes (output is "
                                  "byte-identical to --jobs 1; "
                                  "default 1: serial)")
+    run_parser.add_argument("--policy", default=None, metavar="SPEC",
+                            help="routing-policy spec for the "
+                                 "'policies' experiment: run only that "
+                                 "arm (e.g. 'p2c', 'ewma+eject'; see "
+                                 "repro.balance)")
     run_parser.add_argument("--export", metavar="DIR", default=None,
                             help="also write <DIR>/<name>.json with the "
                                  "raw result data")
@@ -229,6 +249,13 @@ def build_parser() -> argparse.ArgumentParser:
                                    "(the Paxos-replicated manager "
                                    "group); default: the campaign's "
                                    "own setting")
+    chaos_parser.add_argument("--policy", default=None, metavar="SPEC",
+                              help="override the campaign's "
+                                   "worker-selection policy (a "
+                                   "repro.balance spec, e.g. 'p2c' or "
+                                   "'ewma+eject'); works under either "
+                                   "--manager-backend; default: the "
+                                   "config's lottery")
     chaos_parser.add_argument("--quiet", action="store_true",
                               help="suppress the per-run progress "
                                    "lines on stderr")
@@ -285,10 +312,14 @@ def list_experiments() -> str:
 
 def run_experiment(name: str, seed: int, quick: bool,
                    export_dir: Optional[str] = None,
-                   jobs: int = 1) -> str:
+                   jobs: int = 1,
+                   policy: Optional[str] = None) -> str:
     description, full, fast = EXPERIMENTS[name]
     runner = fast if quick else full
-    result = runner(seed, jobs)
+    if policy is not None:
+        result = runner(seed, jobs, policy=policy)
+    else:
+        result = runner(seed, jobs)
     header = f"=== {name}: {description} (seed {seed}) ==="
     text = header + "\n" + _render(result)
     if export_dir is not None:
@@ -307,6 +338,7 @@ def _run_names(names, args) -> bool:
     own sweep.  Results print in name order either way.
     """
     jobs = getattr(args, "jobs", 1)
+    policy = getattr(args, "policy", None)
     if jobs > 1 and len(names) > 1:
         from repro.fanout import ShardSpec, run_sharded
 
@@ -314,7 +346,8 @@ def _run_names(names, args) -> bool:
             ShardSpec(shard_id=f"run[{name}]", fn=run_experiment,
                       kwargs=dict(name=name, seed=args.seed,
                                   quick=args.quick,
-                                  export_dir=args.export))
+                                  export_dir=args.export,
+                                  policy=policy))
             for name in names
         ]
         sweep = run_sharded(specs, jobs=jobs)
@@ -333,7 +366,7 @@ def _run_names(names, args) -> bool:
         return False
     for name in names:
         print(run_experiment(name, args.seed, args.quick, args.export,
-                             jobs=jobs))
+                             jobs=jobs, policy=policy))
         print()
     return False
 
@@ -345,6 +378,20 @@ def _finish_tracing(tracers, out_path: str) -> None:
     count = export_chrome_trace(tracers, out_path)
     print(build_attribution_report(tracers).render())
     print(f"[wrote {count} span event(s) to {out_path}]")
+
+
+def _check_policy_spec(spec: str) -> Optional[str]:
+    """Validate a ``--policy`` spec up front; returns the error text
+    (with the available specs) or None when the spec parses."""
+    from repro.balance import PolicyError, available_policies, \
+        parse_policy_spec
+    try:
+        parse_policy_spec(spec)
+    except PolicyError as error:
+        return (f"{error}\navailable policies: "
+                f"{', '.join(available_policies())} "
+                f"(wrappers: +eject)")
+    return None
 
 
 def chaos_command(args) -> int:
@@ -377,6 +424,13 @@ def chaos_command(args) -> int:
     manager_backend = getattr(args, "manager_backend", None)
     if manager_backend is not None:
         campaign.manager_backend = manager_backend
+    policy = getattr(args, "policy", None)
+    if policy is not None:
+        error = _check_policy_spec(policy)
+        if error is not None:
+            print(error, file=sys.stderr)
+            return 2
+        campaign.routing_policy = policy
     runs = getattr(args, "runs", 1)
     jobs = getattr(args, "jobs", 1)
     if runs > 1 or jobs > 1:
@@ -413,6 +467,7 @@ def _chaos_batch(name: str, args, runs: int, jobs: int) -> int:
     progress = None if getattr(args, "quiet", False) else _chaos_progress
     backend = getattr(args, "profile_backend", None)
     manager_backend = getattr(args, "manager_backend", None)
+    policy = getattr(args, "policy", None)
     if args.trace_out is not None:
         from repro.obs import capture_traces
         with capture_traces(sample_every=args.sample) as tracers:
@@ -420,6 +475,7 @@ def _chaos_batch(name: str, args, runs: int, jobs: int) -> int:
                                        runs=runs, jobs=jobs,
                                        profile_backend=backend,
                                        manager_backend=manager_backend,
+                                       routing_policy=policy,
                                        progress=progress)
         print(batch.render())
         _finish_tracing(tracers, args.trace_out)
@@ -428,6 +484,7 @@ def _chaos_batch(name: str, args, runs: int, jobs: int) -> int:
                                    runs=runs, jobs=jobs,
                                    profile_backend=backend,
                                    manager_backend=manager_backend,
+                                   routing_policy=policy,
                                    progress=progress)
         print(batch.render())
     return 0 if batch.ok else 1
@@ -537,6 +594,19 @@ def main(argv: Optional[list] = None) -> int:
                   file=sys.stderr)
             print(list_experiments(), file=sys.stderr)
             return 2
+        if args.policy is not None:
+            unsupported = [name for name in names
+                           if name not in POLICY_AWARE]
+            if unsupported:
+                print(f"--policy only applies to: "
+                      f"{', '.join(sorted(POLICY_AWARE))} "
+                      f"(got {', '.join(unsupported)})",
+                      file=sys.stderr)
+                return 2
+            error = _check_policy_spec(args.policy)
+            if error is not None:
+                print(error, file=sys.stderr)
+                return 2
         if args.trace_out is not None:
             from repro.obs import capture_traces
             with capture_traces(sample_every=args.sample) as tracers:

@@ -450,6 +450,8 @@ class ManagerReplica(Manager):
                            else self.load_table.get(name, 0.0)),
                 last_report_at=(info.last_report_at if info is not None
                                 else self._took_over_at),
+                service_ewma_s=(info.service_ewma_s
+                                if info is not None else 0.0),
             )
         return adverts
 

@@ -69,6 +69,39 @@ class SNSConfig:
     estimate_queue_deltas: bool = True
     #: lottery-scheduling weight exponent: weight = 1/(1+queue)^gamma.
     lottery_gamma: float = 2.0
+    #: worker-selection policy at the manager stubs (repro.balance).
+    #: Base names: lottery (the paper's default), round-robin,
+    #: least-outstanding, p2c, ewma, weighted, hash-bounded; append
+    #: "+eject" for passive outlier ejection (e.g. "ewma+eject").
+    routing_policy: str = "lottery"
+    #: EWMA weight for policy-side latency observations (the ewma
+    #: policy and the outlier ejector; distinct from the manager's
+    #: load_ewma_alpha so tuning one never skews the other).
+    policy_ewma_alpha: float = 0.3
+    #: "weighted" policy: traffic fraction routed to the canary (the
+    #: most recently spawned worker).
+    policy_canary_fraction: float = 0.1
+    #: "hash-bounded" policy: a worker may carry at most this multiple
+    #: of the mean in-flight load before the request walks the ring.
+    policy_hash_bound: float = 1.25
+    #: "hash-bounded" policy: virtual nodes per worker on the ring.
+    policy_hash_replicas: int = 50
+    #: "+eject" wrapper: eject when a worker's observed-latency EWMA
+    #: exceeds this multiple of the peer median...
+    outlier_latency_ratio: float = 3.0
+    #: ...judged only after this many local latency samples...
+    outlier_min_samples: int = 8
+    #: ...and only while at least this many peers are in play
+    #: (peer-relative by construction: global slowness ejects nobody).
+    outlier_min_peers: int = 3
+    #: "+eject" wrapper: timeouts within outlier_window_s that eject a
+    #: worker (unless timeouts are cluster-wide).
+    outlier_timeout_threshold: int = 3
+    outlier_window_s: float = 10.0
+    #: first ejection duration; doubles per repeat offence up to the
+    #: max.  Re-admission is probationary (history cleared).
+    outlier_ejection_s: float = 5.0
+    outlier_max_ejection_s: float = 60.0
     #: per-dispatch timeout before the front end retries elsewhere.
     dispatch_timeout_s: float = 8.0
     #: dispatch attempts before falling back to the original content.
@@ -160,6 +193,30 @@ class SNSConfig:
                 f"unknown balancing mode {self.balancing!r}")
         if self.dispatch_attempts < 1:
             raise ValueError("need at least one dispatch attempt")
+        # late import: repro.balance typing never depends on config, but
+        # importing it at module top would be a cycle risk for callers
+        from repro.balance import parse_policy_spec
+        parse_policy_spec(self.routing_policy)  # raises PolicyError
+        if not 0 < self.policy_ewma_alpha <= 1:
+            raise ValueError("policy EWMA alpha must be in (0, 1]")
+        if not 0.0 < self.policy_canary_fraction < 1.0:
+            raise ValueError("canary fraction must be in (0, 1)")
+        if self.policy_hash_bound < 1.0:
+            raise ValueError("hash load bound must be >= 1")
+        if self.policy_hash_replicas < 1:
+            raise ValueError("hash ring needs >= 1 replica per worker")
+        if self.outlier_latency_ratio <= 1.0:
+            raise ValueError("outlier latency ratio must be > 1")
+        if self.outlier_min_samples < 1 or self.outlier_min_peers < 2:
+            raise ValueError(
+                "outlier ejection needs >= 1 sample and >= 2 peers")
+        if self.outlier_timeout_threshold < 1:
+            raise ValueError("outlier timeout threshold must be >= 1")
+        if self.outlier_window_s <= 0 or self.outlier_ejection_s <= 0:
+            raise ValueError("outlier windows must be positive")
+        if self.outlier_max_ejection_s < self.outlier_ejection_s:
+            raise ValueError(
+                "max ejection must be >= the base ejection duration")
         if self.dispatch_deadline_s is not None \
                 and self.dispatch_deadline_s <= 0:
             raise ValueError("dispatch deadline must be positive")

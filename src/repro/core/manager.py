@@ -85,6 +85,7 @@ class WorkerInfo:
         self.last_queue = 0
         self.last_report_at = now
         self.registered_at = now
+        self.service_ewma_s = 0.0
 
     def update(self, report: LoadReport, alpha: float,
                load_metric: str = "queue") -> None:
@@ -93,6 +94,8 @@ class WorkerInfo:
         self.queue_avg = alpha * value + (1.0 - alpha) * self.queue_avg
         self.last_queue = report.queue_length
         self.last_report_at = report.sent_at
+        # already smoothed at the worker: relay, don't re-smooth
+        self.service_ewma_s = report.service_ewma_s
 
 
 class FrontEndInfo:
@@ -204,6 +207,7 @@ class Manager(Component):
                 stub=info.stub,
                 queue_avg=info.queue_avg,
                 last_report_at=info.last_report_at,
+                service_ewma_s=info.service_ewma_s,
             )
             for info in self.workers.values()
         }
@@ -319,6 +323,7 @@ class Manager(Component):
                 stub=best.stub,
                 queue_avg=best.queue_avg,
                 last_report_at=best.last_report_at,
+                service_ewma_s=best.service_ewma_s,
             )
         if self._spawns_in_flight.get(worker_type, 0) == 0:
             self._spawn_worker(worker_type)

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Optional
 
+from repro.balance import build_policy, request_key
 from repro.core.config import SNSConfig
 from repro.core.messages import ManagerBeacon, WorkEnvelope, WorkerAdvert
 from repro.sim.cluster import Cluster
@@ -70,7 +71,12 @@ class AdvertState:
 
 
 class ManagerStub:
-    """Beacon cache + lottery scheduler + dispatch engine."""
+    """Beacon cache + pluggable worker selection + dispatch engine.
+
+    Selection is delegated to a :mod:`repro.balance` policy
+    (``config.routing_policy``); the default reproduces the paper's
+    lottery scheduling exactly.
+    """
 
     def __init__(self, cluster: Cluster, config: SNSConfig, owner_name: str,
                  rng: Stream, node: Optional[Any] = None) -> None:
@@ -86,6 +92,12 @@ class ManagerStub:
         #: seed+owner, and drawing from it never perturbs the lottery.
         self.backoff_rng = cluster.streams.stream(
             f"backoff:{owner_name}")
+        #: pluggable worker-selection policy (repro.balance).  The
+        #: default, "lottery", reproduces the paper's lottery draw
+        #: byte-for-byte; every policy draws only from ``self.rng`` (or
+        #: nothing), so the stream discipline is unchanged.
+        self.policy = build_policy(config.routing_policy, config,
+                                   self.rng)
         self.manager: Optional[Any] = None
         self.manager_incarnation: Optional[int] = None
         #: supervision hook: called with the worker name on every
@@ -160,6 +172,7 @@ class ManagerStub:
         for name in list(self.adverts):
             if name not in beacon.adverts:
                 del self.adverts[name]
+                self.policy.on_worker_removed(name)
         for name, advert in beacon.adverts.items():
             if name in self.adverts:
                 self.adverts[name].refresh(advert, now)
@@ -190,6 +203,7 @@ class ManagerStub:
             for name in list(self.adverts):
                 if self.adverts[name].received_at < deadline:
                     del self.adverts[name]
+                    self.policy.on_worker_removed(name)
         return [state for state in self.adverts.values()
                 if state.advert.worker_type == worker_type]
 
@@ -199,8 +213,10 @@ class ManagerStub:
         consensus leader's hints expire with its lease."""
         return self.lease_until is None or now <= self.lease_until
 
-    def pick(self, worker_type: str) -> Optional[AdvertState]:
-        """Lottery scheduling over the cached (possibly stale) hints."""
+    def pick(self, worker_type: str,
+             key: Optional[str] = None) -> Optional[AdvertState]:
+        """Select a worker via the configured routing policy (the
+        default is the paper's lottery over possibly-stale hints)."""
         now = self.cluster.env.now
         if not self.hints_usable(now):
             # the lease lapsed: routing on these hints would be a
@@ -211,13 +227,7 @@ class ManagerStub:
         candidates = self.candidates(worker_type)
         if not candidates:
             return None
-        weights = [
-            1.0 / (1.0 + state.effective_queue(
-                now, self.config.estimate_queue_deltas))
-            ** self.config.lottery_gamma
-            for state in candidates
-        ]
-        return self.rng.weighted_choice(candidates, weights)
+        return self.policy.select(candidates, now, key)
 
     # -- dispatch -------------------------------------------------------------------------
 
@@ -228,16 +238,17 @@ class ManagerStub:
         cap; the jitter draw comes from :attr:`backoff_rng`, so delays
         are reproducible per seed yet desynchronized across front ends
         (no retry storms when a whole lossy window times out at once).
+        The cap is applied *after* the jitter multiply: it is a hard
+        ceiling on the wait, not on the pre-jitter base (an up-jittered
+        delay must never exceed ``dispatch_backoff_cap_s``).
         """
         config = self.config
-        delay = min(
-            config.dispatch_backoff_cap_s,
-            config.dispatch_backoff_base_s
-            * config.dispatch_backoff_factor ** (retry_number - 1))
+        delay = (config.dispatch_backoff_base_s
+                 * config.dispatch_backoff_factor ** (retry_number - 1))
         jitter = config.dispatch_backoff_jitter
         if jitter > 0 and delay > 0:
             delay *= 1.0 + jitter * (self.backoff_rng.random() - 0.5)
-        return delay
+        return min(config.dispatch_backoff_cap_s, delay)
 
     def dispatch(self, tacc_request: Any, worker_type: str,
                  input_bytes: int, expected_cost_s: float = 0.0,
@@ -266,6 +277,8 @@ class ManagerStub:
             deadline_s = config.dispatch_attempts * \
                 config.dispatch_timeout_s
         deadline_at = env.now + deadline_s
+        key = (request_key(tacc_request)
+               if self.policy.needs_key else None)
         span = None
         if trace is not None:
             span = trace.child("dispatch", "queueing",
@@ -292,10 +305,10 @@ class ManagerStub:
                     self.deadline_expiries += 1
                     raise DispatchError(
                         f"deadline exhausted for {worker_type!r}")
-                state = self.pick(worker_type)
+                state = self.pick(worker_type, key)
                 if state is None:
                     state = yield from self._wait_for_worker(
-                        worker_type, deadline_at)
+                        worker_type, deadline_at, key)
                     if state is None:
                         raise DispatchError(
                             f"no {worker_type!r} worker available")
@@ -317,34 +330,52 @@ class ManagerStub:
                 if span is not None:
                     span.record("san-transfer", "network", mark,
                                 bytes=input_bytes)
+                if deadline_at - env.now <= 0.0:
+                    # the SAN transfer ate the last of the deadline: a
+                    # zero-budget reply timer would fire instantly and
+                    # masquerade as a worker timeout — popping a healthy
+                    # worker's advert and telling the supervisor to kill
+                    # it.  This is a deadline expiry, nothing more.
+                    self.deadline_expiries += 1
+                    raise DispatchError(
+                        f"deadline exhausted for {worker_type!r}")
+                worker_name = state.advert.worker_name
                 if not self._account_submit(state):
                     # not partition-blocked: the submit actually arrives
                     if not state.advert.stub.submit(envelope):
                         # queue full: connection refused, try another
                         # worker now
-                        self.adverts.pop(state.advert.worker_name, None)
+                        self.adverts.pop(worker_name, None)
+                        self.policy.on_worker_removed(worker_name)
                         continue
                 state.sent_since_report += 1
+                self.policy.on_submit(worker_name, env.now)
                 timer = env.timeout(max(0.0, min(
                     config.dispatch_timeout_s, deadline_at - env.now)))
                 try:
                     outcome = yield env.any_of([envelope.reply, timer])
                 except WorkerError as error:
                     self.worker_errors += 1
+                    self.policy.on_reply(worker_name, env.now,
+                                         env.now - envelope.submitted_at)
                     raise
                 if envelope.reply in outcome:
+                    self.policy.on_reply(worker_name, env.now,
+                                         env.now - envelope.submitted_at)
                     if span is not None:
                         span.annotate(
                             attempts=attempt + 1,
-                            worker=state.advert.worker_name)
+                            worker=worker_name)
                     return outcome[envelope.reply]
                 # "if a request is sent to a worker that no longer exists,
                 # the request will time out and another worker will be
                 # chosen."
                 self.timeouts += 1
-                self.adverts.pop(state.advert.worker_name, None)
+                self.policy.on_timeout(worker_name, env.now)
+                self.adverts.pop(worker_name, None)
+                self.policy.on_worker_removed(worker_name)
                 if self.on_worker_timeout is not None:
-                    self.on_worker_timeout(state.advert.worker_name)
+                    self.on_worker_timeout(worker_name)
             raise DispatchError(
                 f"dispatch budget exhausted for {worker_type!r}")
         except BaseException as error:
@@ -392,9 +423,16 @@ class ManagerStub:
                                          manager_node.name)
 
     def _wait_for_worker(self, worker_type: str,
-                         deadline_at: Optional[float] = None):
+                         deadline_at: Optional[float] = None,
+                         key: Optional[str] = None):
         """No cached hint: ask the manager (triggering an on-demand
-        spawn) and poll until an advert appears or the budget runs out."""
+        spawn) and poll until an advert appears or the budget runs out.
+
+        Each poll sleep is clamped to the remaining budget: a full
+        ``beacon_interval_s`` step from just inside the deadline would
+        overshoot it by up to one interval, silently stretching the
+        per-dispatch deadline the caller was promised.
+        """
         env = self.cluster.env
         started_at = env.now
         deadline = env.now + self.config.dispatch_timeout_s
@@ -414,8 +452,9 @@ class ManagerStub:
                         else:
                             self.adverts[name] = AdvertState(advert, now)
                         return self.adverts[name]
-                yield env.timeout(self.config.beacon_interval_s)
-                state = self.pick(worker_type)
+                yield env.timeout(min(self.config.beacon_interval_s,
+                                      deadline - env.now))
+                state = self.pick(worker_type, key)
                 if state is not None:
                     return state
             return None

@@ -51,6 +51,10 @@ class LoadReport:
     queue_length: int
     weighted_load: float
     sent_at: float
+    #: worker-measured EWMA of wall-clock service time (queue wait
+    #: excluded); 0.0 until the first request completes.  Latency-aware
+    #: routing policies use it as a cold-start prior.
+    service_ewma_s: float = 0.0
 
 
 @dataclass
@@ -64,6 +68,8 @@ class WorkerAdvert:
     stub: Any
     queue_avg: float
     last_report_at: float
+    #: relayed from the worker's load reports (see LoadReport).
+    service_ewma_s: float = 0.0
 
 
 @dataclass

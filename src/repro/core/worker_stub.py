@@ -69,6 +69,10 @@ class WorkerStub(Component):
         self.gray = GrayState()
         self.busy = False
         self._in_service_cost_s = 0.0
+        #: EWMA of wall-clock service time (compute + execute, queue
+        #: wait excluded), published in load reports so latency-aware
+        #: routing policies have a prior before their own samples.
+        self.service_ewma_s = 0.0
         self._manager_endpoint = None
         self._registered_incarnation: Optional[int] = None
         #: highest manager incarnation ever heard: beacons below it come
@@ -155,6 +159,7 @@ class WorkerStub(Component):
             if envelope.trace is not None:
                 service_span = envelope.trace.child(
                     "worker-service", "service", component=self.name)
+            service_started_at = self.env.now
             try:
                 work = self._work_sample(envelope)
                 yield from self.node.compute(work)
@@ -185,6 +190,14 @@ class WorkerStub(Component):
             if service_span is not None:
                 service_span.finish()
             self.served += 1
+            elapsed = self.env.now - service_started_at
+            if self.service_ewma_s == 0.0:
+                self.service_ewma_s = elapsed
+            else:
+                alpha = self.config.load_ewma_alpha
+                self.service_ewma_s = (alpha * elapsed
+                                       + (1.0 - alpha)
+                                       * self.service_ewma_s)
             self.spawn(self._deliver(envelope, result))
 
     def _work_sample(self, envelope: WorkEnvelope) -> float:
@@ -267,6 +280,7 @@ class WorkerStub(Component):
                 queue_length=self.load,
                 weighted_load=self._weighted_load(),
                 sent_at=self.env.now,
+                service_ewma_s=self.service_ewma_s,
             )
             if announce_group is not None and not self.is_partitioned:
                 # distributed mode: shout the load at every front end
@@ -278,6 +292,7 @@ class WorkerStub(Component):
                     stub=self,
                     queue_avg=float(self.load),
                     last_report_at=self.env.now,
+                    service_ewma_s=self.service_ewma_s,
                 ), size_bytes=REPORT_BYTES, sender=self.name)
             endpoint = self._manager_endpoint
             if endpoint is None:

@@ -59,6 +59,10 @@ from repro.experiments.hotbot_throughput import (
     run_hotbot_throughput,
 )
 from repro.experiments.economics import run_economics
+from repro.experiments.policy_sweep import (
+    PolicySweepResult,
+    run_policy_sweep,
+)
 from repro.experiments.endtoend_latency import (
     EndToEndResult,
     run_endtoend,
@@ -76,6 +80,7 @@ __all__ = [
     "HotBotDegradationResult",
     "HotBotThroughputResult",
     "ManagerCapacityResult",
+    "PolicySweepResult",
     "SanSaturationResult",
     "Table2Result",
     "run_cache_size_sweep",
@@ -90,6 +95,7 @@ __all__ = [
     "run_hotbot_degradation",
     "run_hotbot_throughput",
     "run_manager_capacity",
+    "run_policy_sweep",
     "run_population_sweep",
     "run_san_saturation",
     "run_table1",

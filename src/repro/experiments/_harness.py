@@ -183,10 +183,14 @@ def build_bench_fabric(
     brick_replicas: int = 2,
     brick_ledger: Any = None,
     manager_backend: Optional[str] = None,
+    routing_policy: Optional[str] = None,
 ) -> SNSFabric:
     """Assemble the bench fabric; ``manager_backend`` selects the
     control plane (``None``/``"soft"`` = the paper's single soft-state
-    manager, ``"consensus"`` = the Paxos-replicated manager group) and
+    manager, ``"consensus"`` = the Paxos-replicated manager group),
+    ``routing_policy`` overrides the worker-selection policy at the
+    manager stubs (a :mod:`repro.balance` spec, e.g. ``"p2c"`` or
+    ``"ewma+eject"``; ``None`` keeps the config's own setting), and
     ``profile_backend`` opts into a real profile store on the request
     path:
 
@@ -198,6 +202,10 @@ def build_bench_fabric(
       ``brick_replicas``), hung off the fabric as
       ``fabric.profile_bricks`` for chaos and supervision to reach.
     """
+    if routing_policy is not None:
+        from dataclasses import replace
+        config = replace(config or SNSConfig(),
+                         routing_policy=routing_policy)
     cluster = Cluster(seed=seed, san_bandwidth_bps=san_bandwidth_bps)
     cluster.add_nodes(n_nodes)
     if n_overflow:

@@ -97,7 +97,9 @@ class PlaybackEngine:
     def __init__(self, env: Environment, submit: SubmitFn,
                  rng: Optional[Stream] = None,
                  timeout_s: Optional[float] = None,
-                 record_outcomes: bool = True) -> None:
+                 record_outcomes: bool = True,
+                 on_success: Optional[Callable[[Any, float], None]]
+                 = None) -> None:
         self.env = env
         self.submit = submit
         self.rng = rng
@@ -105,6 +107,11 @@ class PlaybackEngine:
         #: False = bounded-memory mode: keep only :attr:`stats`, never
         #: append to :attr:`outcomes` (which stays empty).
         self.record_outcomes = record_outcomes
+        #: optional streaming observer called with (response, latency_s)
+        #: for every completed request — how a million-request replay
+        #: feeds exact-percentile accumulators (LatencyStats) without
+        #: per-request outcome objects.
+        self.on_success = on_success
         self.outcomes: List[RequestOutcome] = []
         self.stats = PlaybackStats()
         self.in_flight = 0
@@ -225,6 +232,8 @@ class PlaybackEngine:
                 root.annotate(
                     outcome=getattr(response, "status", "ok"))
             self.stats.observe_success(self.env.now - started)
+            if self.on_success is not None:
+                self.on_success(response, self.env.now - started)
             if self.record_outcomes:
                 self.outcomes.append(RequestOutcome(
                     record=record, submitted_at=started,

@@ -1,0 +1,55 @@
+"""End-to-end: every policy spec routes real dispatches on a fabric."""
+
+import pytest
+
+from tests.core.conftest import fast_config, make_fabric, make_record
+
+SPECS = ["lottery", "round-robin", "least-outstanding", "p2c", "ewma",
+         "weighted", "hash-bounded", "lottery+eject", "ewma+eject",
+         "hash-bounded+eject"]
+
+
+@pytest.mark.parametrize("spec", SPECS)
+def test_policy_serves_requests_end_to_end(spec):
+    fabric = make_fabric(config=fast_config(routing_policy=spec))
+    fabric.boot(n_frontends=1, initial_workers={"test-worker": 3})
+    fabric.cluster.run(until=2.0)
+    env = fabric.cluster.env
+    replies = [fabric.submit(make_record(index)) for index in range(12)]
+    for reply in replies:
+        response = env.run(until=reply)
+        assert response.status == "ok"
+    stub = fabric.alive_frontends()[0].stub
+    assert stub.policy.name == spec
+    assert stub.dispatches == 12
+    assert stub.timeouts == 0
+
+
+def test_default_config_is_the_paper_lottery():
+    fabric = make_fabric()
+    fabric.boot(n_frontends=1, initial_workers={"test-worker": 1})
+    stub = fabric.alive_frontends()[0].stub
+    assert stub.policy.name == "lottery"
+    assert not stub.policy.needs_key
+
+
+def test_explicit_lottery_is_byte_identical_to_default():
+    """routing_policy='lottery' and the default must produce the same
+    simulation trajectory — same counters, same clock."""
+
+    def run(config):
+        fabric = make_fabric(config=config)
+        fabric.boot(n_frontends=2, initial_workers={"test-worker": 2})
+        fabric.cluster.run(until=2.0)
+        env = fabric.cluster.env
+        for index in range(30):
+            env.run(until=fabric.submit(make_record(index)))
+        stubs = [fe.stub for fe in fabric.alive_frontends()]
+        return (env.now,
+                sorted((stub.owner_name, stub.dispatches, stub.retries)
+                       for stub in stubs),
+                sorted((stub.name, stub.served)
+                       for stub in fabric.alive_workers()))
+
+    assert run(fast_config()) == \
+        run(fast_config(routing_policy="lottery"))

@@ -116,6 +116,60 @@ def test_unknown_campaign_lists_every_name(capsys):
         assert name in err
 
 
+# -- the --policy switch ------------------------------------------------------
+
+
+def test_policy_flag_parses_on_run_and_chaos():
+    parser = build_parser()
+    args = parser.parse_args(["run", "policies", "--quick",
+                              "--policy", "ewma+eject"])
+    assert args.policy == "ewma+eject"
+    args = parser.parse_args(["chaos", "smoke", "--policy", "p2c"])
+    assert args.policy == "p2c"
+
+
+def test_policy_flag_rejected_for_unaware_experiment(capsys):
+    assert main(["run", "table2", "--quick", "--policy", "p2c"]) == 2
+    err = capsys.readouterr().err
+    assert "--policy only applies to" in err
+    assert "policies" in err
+
+
+def test_policy_flag_rejects_unknown_spec(capsys):
+    assert main(["run", "policies", "--quick",
+                 "--policy", "nonsense"]) == 2
+    err = capsys.readouterr().err
+    assert "unknown routing policy" in err
+    assert "available policies" in err
+
+
+def test_chaos_policy_flag_rejects_unknown_spec(capsys):
+    assert main(["chaos", "smoke", "--policy",
+                 "lottery+nonsense"]) == 2
+    assert "unknown policy wrapper" in capsys.readouterr().err
+
+
+def test_chaos_policy_flag_threads_into_the_campaign(monkeypatch):
+    """--policy must land on the campaign before the runner builds."""
+    seen = {}
+
+    class FakeRunner:
+        def __init__(self, campaign, seed=1997):
+            seen["routing_policy"] = campaign.routing_policy
+
+        def run(self):
+            class Report:
+                ok = True
+
+                def render(self):
+                    return "fake"
+            return Report()
+
+    monkeypatch.setattr("repro.chaos.CampaignRunner", FakeRunner)
+    assert main(["chaos", "smoke", "--policy", "least-outstanding"]) == 0
+    assert seen["routing_policy"] == "least-outstanding"
+
+
 # -- span tracing (--trace-out / spans) -----------------------------------------
 
 
