@@ -163,10 +163,14 @@ def harvest_yield_series(outcomes, bucket_s: float
     **harvest** the fraction of answered requests carrying the full
     result rather than a BASE approximation.  A reply whose status is
     ``"error"`` (a shed request, an error page) answers nothing and
-    counts against yield, exactly like a timeout.  Requests are bucketed
+    counts against yield, exactly like a timeout.  Shed requests —
+    error replies whose path starts with ``"shed"`` — are additionally
+    broken out into their own column: a shed is a *yield* loss the
+    admission controller chose, distinct from both a degraded answer
+    (a *harvest* loss) and a generic error.  Requests are bucketed
     by *submission* time so a fault window's damage lands in the window
     that caused it.  Each row: ``{"start", "submitted", "answered",
-    "degraded", "yield", "harvest"}``.
+    "degraded", "shed", "yield", "harvest"}``.
     """
     if bucket_s <= 0:
         raise ValueError("bucket width must be positive")
@@ -176,21 +180,26 @@ def harvest_yield_series(outcomes, bucket_s: float
     buckets: Dict[int, List[int]] = {}
     for outcome in outcomes:
         index = int((outcome.submitted_at - origin) / bucket_s)
-        row = buckets.setdefault(index, [0, 0, 0])
+        row = buckets.setdefault(index, [0, 0, 0, 0])
         row[0] += 1
         status = getattr(outcome.response, "status", "ok")
         if outcome.ok and status != "error":
             row[1] += 1
             if status != "ok":
                 row[2] += 1
+        elif str(getattr(outcome.response, "path",
+                         "")).startswith("shed"):
+            row[3] += 1
     series = []
     for index in range(max(buckets) + 1):
-        submitted, answered, degraded = buckets.get(index, (0, 0, 0))
+        submitted, answered, degraded, shed = buckets.get(
+            index, (0, 0, 0, 0))
         series.append({
             "start": origin + index * bucket_s,
             "submitted": float(submitted),
             "answered": float(answered),
             "degraded": float(degraded),
+            "shed": float(shed),
             "yield": answered / submitted if submitted else 1.0,
             "harvest": ((answered - degraded) / answered
                         if answered else 1.0),

@@ -396,6 +396,29 @@ class Campaign:
     #: minimum profile read availability; checked as an invariant when
     #: set (reads during brick faults must be masked by the quorum).
     profile_read_slo: Optional[float] = None
+    #: piecewise-constant offered load ``[(duration_s, rate_rps), ...]``
+    #: replacing the constant-rate process when set — how the
+    #: flash-crowd campaigns script their 10x burst.  Overload *is* the
+    #: fault here, so these campaigns need no ``actions``.
+    arrival_schedule: Optional[List[Tuple[float, float]]] = None
+    #: distinct URLs/clients the engine cycles through; large pools
+    #: defeat the result cache and drive cold misses to the origin.
+    pool_size: int = 40
+    #: input size of every pool record; distillation cost is linear in
+    #: it, so this knob sets worker capacity relative to offered load.
+    record_bytes: int = 10240
+    #: fraction of pool records marked ``priority="batch"`` — the class
+    #: priority-admission (ladder level 4) sheds first.
+    batch_fraction: float = 0.0
+    #: service layer: None keeps the classic bench services,
+    #: "degradable" installs the brownout service (repro.degrade).
+    service_backend: Optional[str] = None
+    #: "controller" starts the closed-loop DegradationController after
+    #: boot; None runs whatever the config armed statically.
+    degradation: Optional[str] = None
+    #: minimum end-of-run yield; checked as an invariant when set (the
+    #: brownout controller's harvest-for-yield claim).
+    yield_slo: Optional[float] = None
 
     @property
     def final_heal_s(self) -> float:
@@ -414,6 +437,24 @@ class Campaign:
                 f"campaign {self.name!r} ends at {self.duration_s}s "
                 f"but its last fault heals at {self.final_heal_s}s; "
                 "leave room to observe recovery")
+        if self.arrival_schedule is not None:
+            if not self.arrival_schedule:
+                raise ValueError("arrival_schedule must not be empty")
+            for duration, rate in self.arrival_schedule:
+                if duration <= 0 or rate < 0:
+                    raise ValueError(
+                        f"bad arrival step ({duration}, {rate}): "
+                        "duration must be positive, rate non-negative")
+        if self.pool_size < 1:
+            raise ValueError("pool_size must be >= 1")
+        if not 0.0 <= self.batch_fraction < 1.0:
+            raise ValueError("batch_fraction must be in [0, 1)")
+        if self.degradation not in (None, "controller"):
+            raise ValueError(
+                f"unknown degradation mode {self.degradation!r}")
+        if self.yield_slo is not None \
+                and not 0.0 < self.yield_slo <= 1.0:
+            raise ValueError("yield_slo must be in (0, 1]")
         return self
 
 
@@ -452,7 +493,8 @@ class CampaignRunner:
             n_bricks=campaign.n_bricks,
             brick_replicas=campaign.brick_replicas,
             manager_backend=campaign.manager_backend,
-            routing_policy=campaign.routing_policy)
+            routing_policy=campaign.routing_policy,
+            service_backend=campaign.service_backend)
         self.cluster = self.fabric.cluster
         self.env = self.cluster.env
         self.faults = self.cluster.network.install_faults(
@@ -469,6 +511,7 @@ class CampaignRunner:
             # rejoin records flow into the same ledger the report reads
             self.fabric.profile_bricks.ledger = self.ledger
         self.supervisor: Optional[Any] = None
+        self.controller: Optional[Any] = None
         self._straggled: List[Any] = []
         #: deterministic profile-writer counters (attempted includes
         #: writes refused while the single store is down).
@@ -748,16 +791,30 @@ class CampaignRunner:
         if campaign.recovery is not None:
             self.supervisor = self.fabric.start_supervisor(
                 campaign.recovery, ledger=self.ledger)
+        if campaign.degradation == "controller":
+            self.controller = self.fabric.start_degradation()
         self.cluster.run(until=2.0)
 
+        # every Nth record is batch-class when a batch fraction is set,
+        # so priority admission has a class to shed deterministically
+        batch_every = (round(1.0 / campaign.batch_fraction)
+                       if campaign.batch_fraction > 0 else 0)
         pool = [
             TraceRecord(0.0, f"client{index}",
                         f"http://chaos/img{index}.jpg", "image/jpeg",
-                        10240)
-            for index in range(40)
+                        campaign.record_bytes,
+                        priority=("batch" if batch_every
+                                  and index % batch_every
+                                  == batch_every - 1
+                                  else "interactive"))
+            for index in range(campaign.pool_size)
         ]
-        self.env.process(self.engine.constant_rate(
-            campaign.rate_rps, campaign.duration_s, pool))
+        if campaign.arrival_schedule is not None:
+            self.env.process(self.engine.ramp(
+                campaign.arrival_schedule, pool))
+        else:
+            self.env.process(self.engine.constant_rate(
+                campaign.rate_rps, campaign.duration_s, pool))
         if campaign.profile_backend is not None:
             self.env.process(self._profile_writer())
 
@@ -777,6 +834,9 @@ class CampaignRunner:
             max_latency_s=(campaign.slo_latency_s
                            if campaign.slo_latency_s is not None
                            else campaign.client_timeout_s))
+        if campaign.yield_slo is not None:
+            self.checker.final_yield_check(self.engine,
+                                           campaign.yield_slo)
         profile = (self._profile_results()
                    if campaign.profile_backend is not None else None)
         consensus = None
@@ -788,7 +848,9 @@ class CampaignRunner:
             engine=self.engine, checker=self.checker,
             injector=self.injector, faults=self.faults,
             ledger=self.ledger, supervisor=self.supervisor,
-            profile=profile, consensus=consensus)
+            profile=profile, consensus=consensus,
+            degradation=(self.controller.summary()
+                         if self.controller is not None else None))
 
 
 def run_campaign(campaign: Campaign, seed: int = 1997) -> ChaosReport:
@@ -1087,6 +1149,82 @@ def _partition_smoke() -> Campaign:
     )
 
 
+#: the flash-crowd load shape: 20s warm-up at the nominal rate, a 15s
+#: 10x burst, then 45s of recovery at the nominal rate again.
+_FLASH_SCHEDULE: List[Tuple[float, float]] = [
+    (20.0, 12.0), (15.0, 120.0), (45.0, 12.0)]
+
+
+def _flash_crowd_campaign(**kwargs) -> Campaign:
+    """Shared shape of the two flash-crowd arms: identical topology,
+    load, pool, and degradable service — the arms differ *only* in
+    whether the brownout defenses are armed, so the yield gap between
+    the reports is attributable to the controller."""
+    base: Dict[str, Any] = dict(
+        duration_s=80.0,
+        actions=[],
+        arrival_schedule=list(_FLASH_SCHEDULE),
+        n_nodes=8,
+        n_frontends=2,
+        initial_workers=3,
+        client_timeout_s=20.0,
+        settle_s=8.0,
+        pool_size=400,
+        batch_fraction=0.15,
+        record_bytes=24576,
+        profile_backend="dstore",
+        service_backend="degradable",
+    )
+    base.update(kwargs)
+    overrides: Dict[str, Any] = dict(
+        frontend_threads=60,
+        # pin capacity: the burst must not be rescued by the autoscaler
+        # mid-flight, or the arms would measure spawn latency instead
+        # of the degradation ladder
+        spawn_threshold=1000.0,
+        spawn_damping_s=60.0,
+    )
+    overrides.update(base.pop("config_overrides", {}))
+    base["config_overrides"] = overrides
+    return Campaign(**base)
+
+
+def _flash_crowd() -> Campaign:
+    """The brownout acceptance scenario: a 10x offered-load burst that
+    the controller must ride out by spending harvest — forced
+    low-fidelity distillation, stale serves, relaxed profile reads —
+    while the retry budget and origin breaker keep the overload from
+    amplifying itself.  Yield >= 0.99 is an invariant."""
+    return _flash_crowd_campaign(
+        name="flash-crowd",
+        description="10x offered-load burst against the brownout "
+                    "controller (ladder + retry budget + origin "
+                    "breaker); yield >= 0.99 is an invariant",
+        degradation="controller",
+        yield_slo=0.99,
+        config_overrides=dict(
+            admission_exit_backlog_s=1.0,
+            retry_budget_ratio=0.1,
+            retry_budget_cap=10.0,
+            origin_breaker_failures=3,
+            degrade_util_target=0.85,
+        ),
+    )
+
+
+def _flash_crowd_baseline() -> Campaign:
+    """The comparison arm: same burst, same service and cost model,
+    every brownout defense off — binary admission control only,
+    unlimited retries, no breaker.  EXPERIMENTS.md tables its yield
+    against the controller arm's."""
+    return _flash_crowd_campaign(
+        name="flash-crowd-baseline",
+        description="the same 10x burst with every brownout defense "
+                    "off: binary shed only, unlimited retries, no "
+                    "origin breaker",
+    )
+
+
 CAMPAIGNS: Dict[str, Callable[[], Campaign]] = {
     "smoke": _smoke,
     "mixed": _mixed,
@@ -1102,6 +1240,8 @@ CAMPAIGNS: Dict[str, Callable[[], Campaign]] = {
     "brick-failures-single": _brick_failures_single,
     "partition-failures": _partition_failures,
     "partition-smoke": _partition_smoke,
+    "flash-crowd": _flash_crowd,
+    "flash-crowd-baseline": _flash_crowd_baseline,
 }
 
 

@@ -286,3 +286,27 @@ class InvariantChecker:
                     f"({service.profile_read_failures} of "
                     f"{service.profile_reads} failed)")
         return lost
+
+    # -- graceful degradation -------------------------------------------------
+
+    def final_yield_check(self, engine: Any, yield_slo: float) -> None:
+        """End-of-run yield-SLO assertion for brownout campaigns.
+
+        Yield is the fraction of submitted requests answered at all —
+        a degraded (stale, low-fidelity, fallback) answer still counts,
+        an error page or timeout does not.  The brownout claim is that
+        the controller holds yield near 1.0 through a flash crowd by
+        spending harvest instead; this is the gate CI fails when the
+        controller stops earning its keep.
+        """
+        submitted = len(engine.outcomes) + engine.in_flight
+        answered = sum(
+            1 for outcome in engine.outcomes
+            if outcome.ok
+            and getattr(outcome.response, "status", "ok") != "error")
+        achieved = answered / submitted if submitted else 1.0
+        if achieved < yield_slo - 1e-12:
+            self.violation(
+                "yield-slo",
+                f"yield {achieved:.4f} ({answered} of {submitted} "
+                f"answered), below the {yield_slo:.2f} SLO")

@@ -20,6 +20,7 @@ from repro.analysis.metrics import (
     yield_recovery_time,
 )
 from repro.chaos.invariants import InvariantViolation
+from repro.degrade.ladder import level_name as _ladder_name
 
 #: yield must return to this level after the final heal.
 RECOVERY_TARGET = 0.95
@@ -63,6 +64,10 @@ class ChaosReport:
     #: replicated-manager stats when the run used the consensus
     #: backend: elections, ballots, log length, lease handoffs, stalls.
     consensus: Dict[str, Any] = field(default_factory=dict)
+    #: brownout-controller summary when the campaign ran the
+    #: degradation ladder: peak level/pressure, transitions, and
+    #: seconds spent at each ladder level.
+    degradation: Dict[str, Any] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -87,6 +92,17 @@ class ChaosReport:
         answered = self.answered
         degraded = sum(row["degraded"] for row in self.series)
         return (answered - degraded) / answered if answered else 1.0
+
+    @property
+    def degraded_replies(self) -> int:
+        """Answered below full quality: the harvest cost of degrading."""
+        return int(sum(row["degraded"] for row in self.series))
+
+    @property
+    def shed_replies(self) -> int:
+        """Refused by admission control: a deliberate yield cost,
+        broken out from the generic error/timeout path."""
+        return int(sum(row.get("shed", 0) for row in self.series))
 
     @property
     def recovered(self) -> bool:
@@ -138,6 +154,14 @@ class ChaosReport:
             f"harvest    {self.overall_harvest:.3f} of answers at full "
             f"quality",
         ]
+        if self.degraded_replies or self.shed_replies:
+            # the BASE ledger: degrading trades harvest (answers below
+            # full quality), shedding trades yield (requests refused on
+            # purpose) — keep the two costs visibly distinct
+            lines.append(
+                f"base       {self.degraded_replies} degraded "
+                f"answer(s) (harvest loss), {self.shed_replies} "
+                f"shed (deliberate yield loss)")
         if self.recovery_s is not None:
             lines.append(
                 f"recovery   yield back over {RECOVERY_TARGET:.0%} "
@@ -245,6 +269,21 @@ class ChaosReport:
                     f"           regime b{regime['ballot']} "
                     f"{regime['leader']} @{regime['at']:.1f}s after "
                     f"{regime['stalled_s']:.1f}s stall")
+        if self.degradation:
+            deg = self.degradation
+            lines.append(
+                f"degrade    peak level {deg['peak_level']} "
+                f"({_ladder_name(deg['peak_level'])}), peak pressure "
+                f"{deg['peak_pressure']:.2f}, "
+                f"{len(deg['transitions'])} transition(s), ended at "
+                f"level {deg['level']}")
+            lines.append("           time at level: " + ", ".join(
+                f"{name} {seconds:.1f}s"
+                for name, seconds in deg["level_time"].items()))
+            for move in deg["transitions"][:12]:
+                lines.append(
+                    f"           @{move['at']:6.1f}s {move['from']} -> "
+                    f"{move['to']} (pressure {move['pressure']:.2f})")
         lines.append("faults     " + (", ".join(
             f"{record.kind} {record.target} @ {record.time:.0f}s"
             for record in self.fault_timeline) or "none recorded"))
@@ -277,7 +316,8 @@ def build_report(campaign: Any, seed: int, fabric: Any, engine: Any,
                  checker: Any, injector: Any, faults: Any,
                  ledger: Any = None, supervisor: Any = None,
                  profile: Optional[Dict[str, Any]] = None,
-                 consensus: Optional[Dict[str, Any]] = None
+                 consensus: Optional[Dict[str, Any]] = None,
+                 degradation: Optional[Dict[str, Any]] = None
                  ) -> ChaosReport:
     """Assemble the report from a finished campaign's pieces."""
     beacon_s = fabric.config.beacon_interval_s
@@ -309,6 +349,31 @@ def build_report(campaign: Any, seed: int, fabric: Any, engine: Any,
                                     for stub in fabric.workers.values()),
         "spawn_failures": sum(m.spawn_failures for m in managers),
     }
+    # brownout-path counters: every attribute is getattr-probed so
+    # campaigns without the degradable service render unchanged (the
+    # zero-valued keys are filtered out of the counter line anyway)
+    frontends = list(fabric.frontends.values())
+    counters["degraded_replies"] = sum(
+        getattr(fe, "degraded", 0) for fe in frontends)
+    counters["priority_sheds"] = sum(
+        getattr(fe, "shed_priority", 0) for fe in frontends)
+    counters["deadline_sheds"] = sum(
+        getattr(fe, "shed_deadline", 0) for fe in frontends)
+    counters["retry_budget_denials"] = sum(
+        getattr(fe.stub, "retry_budget_denials", 0) for fe in frontends)
+    service = getattr(fabric, "service", None)
+    counters["stale_served"] = getattr(service, "stale_served", 0)
+    counters["low_fidelity_served"] = getattr(
+        service, "low_fidelity_served", 0)
+    counters["breaker_fallbacks"] = getattr(
+        service, "breaker_fallbacks", 0)
+    counters["origin_fetches"] = getattr(service, "origin_fetches", 0)
+    breaker = getattr(service, "origin_breaker", None)
+    if breaker is not None:
+        counters["breaker_opens"] = breaker.opens
+        counters["breaker_short_circuits"] = breaker.short_circuits
+    counters["relaxed_profile_reads"] = getattr(
+        fabric.profile_store, "relaxed_reads", 0)
     if managers:
         counters["reaps"] = sum(m.reaps for m in managers)
         counters["reap_redispatches"] = sum(m.reap_redispatches
@@ -380,4 +445,5 @@ def build_report(campaign: Any, seed: int, fabric: Any, engine: Any,
         profile=profile or {},
         partition=partition,
         consensus=consensus or {},
+        degradation=degradation or {},
     )

@@ -36,6 +36,7 @@ from repro.experiments import (
     run_figure6,
     run_figure7,
     run_figure8,
+    run_flash_crowd,
     run_frontend_state,
     run_hotbot_degradation,
     run_hotbot_throughput,
@@ -157,6 +158,12 @@ EXPERIMENTS: Dict[str, Tuple[str, Callable, Callable]] = {
         "end-to-end latency reduction (the Section 1.1 headline)",
         lambda seed, jobs=1: run_endtoend(seed=seed),
         lambda seed, jobs=1: run_endtoend(n_requests=150, seed=seed),
+    ),
+    "flash-crowd": (
+        "brownout controller vs binary shed under a 10x burst "
+        "(repro.degrade)",
+        lambda seed, jobs=1: run_flash_crowd(seed=seed, jobs=jobs),
+        lambda seed, jobs=1: run_flash_crowd(seed=seed, jobs=jobs),
     ),
 }
 

@@ -138,6 +138,57 @@ class SNSConfig:
     #: instead of queueing them toward certain timeout.  ``None``
     #: disables shedding (the paper's original behaviour).
     admission_max_backlog_s: Optional[float] = None
+    #: shedding hysteresis: once shedding starts it continues until the
+    #: netstack backlog falls back *below this* (< admission_max_
+    #: backlog_s), instead of flapping on/off around the single
+    #: threshold.  ``None`` keeps the legacy single-threshold switch.
+    admission_exit_backlog_s: Optional[float] = None
+
+    # -- overload-amplification guards (repro.degrade.guards) ----------------
+    #: retry budget: each first dispatch attempt earns this many retry
+    #: tokens (capped at ``retry_budget_cap``); each retry spends one.
+    #: Caps retry traffic to a fraction of fresh requests so timeouts
+    #: cannot snowball into retry storms.  ``None`` = unlimited retries
+    #: (the legacy behaviour).
+    retry_budget_ratio: Optional[float] = None
+    retry_budget_cap: float = 20.0
+    #: origin circuit breaker: consecutive failures (errors or fetches
+    #: slower than ``origin_breaker_slow_s``) before the breaker opens;
+    #: ``None`` disables the breaker.  While open, origin fetches fail
+    #: fast; after ``origin_breaker_cooldown_s`` one half-open probe
+    #: tests the origin again.
+    origin_breaker_failures: Optional[int] = None
+    origin_breaker_cooldown_s: float = 10.0
+    origin_breaker_slow_s: float = 2.0
+
+    # -- brownout controller (repro.degrade.controller) ----------------------
+    #: control-loop sampling period.
+    degrade_tick_s: float = 0.5
+    #: pressure at/above which the ladder escalates one level per tick.
+    degrade_enter_pressure: float = 1.0
+    #: pressure at/below which ticks count as calm (de-escalation).
+    degrade_exit_pressure: float = 0.5
+    #: consecutive calm ticks required before stepping down one level.
+    degrade_dwell_ticks: int = 2
+    #: minimum ticks between successive escalations (spawn-damping
+    #: analogue: one congested sample cannot slam the ladder to the top).
+    degrade_hold_ticks: int = 2
+    #: signal targets: worst per-worker queue delay (seconds), busiest
+    #: front end's thread occupancy, and per-tick shed ratio.  Each
+    #: signal normalized by its target; pressure is the max.
+    degrade_queue_target_s: float = 1.0
+    degrade_util_target: float = 0.9
+    degrade_shed_target: float = 0.05
+    #: highest ladder level the controller may reach (operators can pin
+    #: the ladder below priority-admission/deadline-shed).
+    degrade_max_level: int = 5
+    #: deadline-shed level: assumed client deadline for the
+    #: probabilistic can-this-still-make-it admission estimate.
+    degrade_deadline_s: float = 8.0
+    #: serve-stale level: result freshness horizon (always servable)
+    #: and the extended stale horizon (servable only while degraded).
+    degrade_fresh_ttl_s: float = 2.0
+    degrade_stale_ttl_s: float = 90.0
 
     # -- workers ----------------------------------------------------------------------
     #: worker stub queue capacity; beyond this, submissions are refused
@@ -230,6 +281,48 @@ class SNSConfig:
         if self.admission_max_backlog_s is not None \
                 and self.admission_max_backlog_s < 0:
             raise ValueError("admission backlog must be non-negative")
+        if self.admission_exit_backlog_s is not None:
+            if self.admission_max_backlog_s is None:
+                raise ValueError(
+                    "admission exit threshold needs admission_max_"
+                    "backlog_s set")
+            if not 0 <= self.admission_exit_backlog_s \
+                    <= self.admission_max_backlog_s:
+                raise ValueError(
+                    "admission exit threshold must be in [0, enter]")
+        if self.retry_budget_ratio is not None \
+                and self.retry_budget_ratio < 0:
+            raise ValueError("retry budget ratio must be non-negative")
+        if self.retry_budget_cap < 1:
+            raise ValueError("retry budget cap must be >= 1")
+        if self.origin_breaker_failures is not None \
+                and self.origin_breaker_failures < 1:
+            raise ValueError("breaker failure threshold must be >= 1")
+        if self.origin_breaker_cooldown_s <= 0 \
+                or self.origin_breaker_slow_s <= 0:
+            raise ValueError(
+                "breaker cooldown and slow budget must be positive")
+        if self.degrade_tick_s <= 0:
+            raise ValueError("degrade tick must be positive")
+        if not 0 <= self.degrade_exit_pressure \
+                < self.degrade_enter_pressure:
+            raise ValueError(
+                "need 0 <= exit pressure < enter pressure")
+        if self.degrade_dwell_ticks < 1 or self.degrade_hold_ticks < 0:
+            raise ValueError(
+                "degrade dwell must be >= 1 and hold >= 0 ticks")
+        if self.degrade_queue_target_s <= 0 \
+                or self.degrade_util_target <= 0 \
+                or self.degrade_shed_target <= 0:
+            raise ValueError("degrade signal targets must be positive")
+        if not 0 <= self.degrade_max_level <= 5:
+            raise ValueError("degrade max level must be in [0, 5]")
+        if self.degrade_deadline_s <= 0:
+            raise ValueError("degrade deadline must be positive")
+        if self.degrade_fresh_ttl_s <= 0 \
+                or self.degrade_stale_ttl_s < self.degrade_fresh_ttl_s:
+            raise ValueError(
+                "need 0 < fresh TTL <= stale TTL")
         if self.frontend_threads < 1:
             raise ValueError("front end needs at least one thread")
         if self.consensus_replicas < 1 or self.consensus_replicas % 2 == 0:

@@ -91,6 +91,9 @@ class SNSFabric:
         #: through here).
         self.profile_store: Optional[Any] = None
         self.profile_bricks: Optional[Any] = None
+        #: brownout controller (repro.degrade); opt-in via
+        #: :meth:`start_degradation`.
+        self.degradation: Optional[Any] = None
 
     # -- placement helpers ---------------------------------------------------
 
@@ -271,6 +274,8 @@ class SNSFabric:
         if self.supervisor is not None and self.supervisor.alive:
             frontend.stub.on_worker_timeout = \
                 self.supervisor.note_rpc_timeout
+        if self.degradation is not None:
+            frontend.degradation = self.degradation
         return frontend
 
     def restart_frontend(self, name: str, node_name: str) -> None:
@@ -365,6 +370,30 @@ class SNSFabric:
         for frontend in self.frontends.values():
             frontend.stub.on_worker_timeout = supervisor.note_rpc_timeout
         return supervisor
+
+    # -- graceful degradation (repro.degrade) --------------------------------
+
+    def start_degradation(self, signals: Any = None) -> Any:
+        """Start the brownout controller (opt-in) and wire it into
+        every component that reads the ladder: live front ends (and,
+        via :meth:`start_frontend`, every future one), the service
+        logic, and the profile store (for the relaxed-reads level)."""
+        from repro.degrade.controller import DegradationController
+        if self.degradation is not None:
+            raise FabricError("a degradation controller is already "
+                              "running")
+        controller = DegradationController(self.cluster, self.config,
+                                           self, signals=signals)
+        self.degradation = controller
+        for frontend in self.frontends.values():
+            frontend.degradation = controller
+        if hasattr(self.service, "degradation"):
+            self.service.degradation = controller
+        if self.profile_store is not None \
+                and hasattr(self.profile_store, "degradation"):
+            self.profile_store.degradation = controller
+        controller.start()
+        return controller
 
     # -- client side ------------------------------------------------------------------------
 

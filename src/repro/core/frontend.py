@@ -48,7 +48,7 @@ from repro.sim.transport import Channel, ChannelClosed
 class Response:
     """What the front end hands back to a client."""
 
-    status: str                 # "ok" | "fallback" | "error"
+    status: str                 # "ok" | "fallback" | "degraded" | "error"
     path: str                   # e.g. "cache-hit", "distilled", "original"
     content: Any = None
     size_bytes: int = 0
@@ -97,12 +97,26 @@ class FrontEnd(Component):
         #: yield (safe: generator start-up is atomic in the cooperative
         #: kernel).  None whenever tracing is off or unsampled.
         self.current_trace = None
+        #: brownout controller (repro.degrade), wired by the fabric;
+        #: None = no degradation ladder on this front end.
+        self.degradation = None
+        #: hysteresis state for _should_shed: True while a shedding
+        #: episode is in progress (admission_exit_backlog_s mode).
+        self._shedding = False
+        self._shed_rng = cluster.streams.stream(f"degrade:shed:{name}")
         # counters
         self.requests_received = 0
         self.responses_sent = 0
         self.fallbacks = 0
         self.errors = 0
         self.shed = 0
+        #: degraded (reduced-harvest) replies: answered, but below full
+        #: fidelity/freshness — the BASE trade, counted apart from
+        #: fallbacks and errors.
+        self.degraded = 0
+        #: sheds by reason, under the degradation ladder's top rungs.
+        self.shed_priority = 0
+        self.shed_deadline = 0
 
     # -- client entry ------------------------------------------------------------
 
@@ -133,6 +147,16 @@ class FrontEnd(Component):
                 status="error", path="shed",
                 detail="admission control: front end saturated"))
             return reply
+        shed_path = self._ladder_shed(record)
+        if shed_path is not None:
+            self.shed += 1
+            self.errors += 1
+            if span is not None:
+                span.annotate(shed=True, shed_path=shed_path).finish()
+            reply.succeed(Response(
+                status="error", path=shed_path,
+                detail="admission control: degraded service"))
+            return reply
         self.spawn(self._handle(record, reply, span))
         return reply
 
@@ -161,9 +185,52 @@ class FrontEnd(Component):
         max_backlog = self.config.admission_max_backlog_s
         if max_backlog is None:
             return False
-        if self.threads.length > 0:
-            return False  # a thread is free: admit
-        return self.netstack.backlog_s > max_backlog
+        exit_backlog = self.config.admission_exit_backlog_s
+        if exit_backlog is None:
+            # legacy single-threshold switch: flaps around the
+            # threshold as each shed relieves exactly the backlog that
+            # caused it
+            if self.threads.length > 0:
+                return False  # a thread is free: admit
+            return self.netstack.backlog_s > max_backlog
+        # hysteresis: enter shedding above max_backlog, keep shedding
+        # until the backlog falls to the (lower) exit threshold
+        if self._shedding:
+            if self.netstack.backlog_s <= exit_backlog:
+                self._shedding = False
+        elif self.threads.length == 0 \
+                and self.netstack.backlog_s > max_backlog:
+            self._shedding = True
+        return self._shedding
+
+    def _ladder_shed(self, record: Any):
+        """Top-rung admission control (degradation levels 4 and 5);
+        returns the shed path name, or None to admit."""
+        controller = self.degradation
+        if controller is None:
+            return None
+        if controller.priority_admission_active \
+                and getattr(record, "priority",
+                            "interactive") != "interactive":
+            self.shed_priority += 1
+            return "shed-priority"
+        if controller.deadline_shed_active:
+            # can this request still meet its deadline?  Estimate its
+            # wait as the netstack backlog plus half the deadline when
+            # no thread is free (thread wait is unobservable up front);
+            # shed probabilistically as the estimate crosses half the
+            # deadline, so the cutoff has no hard edge to oscillate on.
+            deadline = self.config.degrade_deadline_s
+            estimate = self.netstack.backlog_s
+            if self.threads.length == 0:
+                estimate += deadline / 2.0
+            excess = estimate - deadline / 2.0
+            if excess > 0:
+                probability = min(1.0, excess / deadline)
+                if self._shed_rng.random() < probability:
+                    self.shed_deadline += 1
+                    return "shed-deadline"
+        return None
 
     def _handle(self, record: Any, reply, span=None):
         # connection setup through the kernel: the per-request serial cost
@@ -197,6 +264,8 @@ class FrontEnd(Component):
             mark = self.env.now
         if response.status == "fallback":
             self.fallbacks += 1
+        elif response.status == "degraded":
+            self.degraded += 1
         elif response.status == "error":
             self.errors += 1
         # ship the response back out the access link
@@ -208,6 +277,8 @@ class FrontEnd(Component):
             if self.access_link is not None:
                 span.record("access-link-out", "network", mark,
                             bytes=response.size_bytes)
+            if response.annotations:
+                span.annotate(**response.annotations)
             span.annotate(status=response.status,
                           path=response.path).finish()
         if self.alive and not reply.triggered:

@@ -98,6 +98,14 @@ class ManagerStub:
         #: nothing), so the stream discipline is unchanged.
         self.policy = build_policy(config.routing_policy, config,
                                    self.rng)
+        #: retry budget (repro.degrade.guards.RetryBudget): retries
+        #: capped to a fraction of fresh requests; ``None`` = the legacy
+        #: unlimited-retry behaviour.
+        self.retry_budget: Optional[Any] = None
+        if config.retry_budget_ratio is not None:
+            from repro.degrade.guards import RetryBudget
+            self.retry_budget = RetryBudget(config.retry_budget_ratio,
+                                            config.retry_budget_cap)
         self.manager: Optional[Any] = None
         self.manager_incarnation: Optional[int] = None
         #: supervision hook: called with the worker name on every
@@ -137,6 +145,11 @@ class ManagerStub:
         #: failover-latency measure across manager backends).
         self.stall_s = 0.0
         self.beacon_gap_max_s = 0.0
+
+    @property
+    def retry_budget_denials(self) -> int:
+        return 0 if self.retry_budget is None \
+            else self.retry_budget.denials
 
     # -- beacon intake -----------------------------------------------------------
 
@@ -253,7 +266,8 @@ class ManagerStub:
     def dispatch(self, tacc_request: Any, worker_type: str,
                  input_bytes: int, expected_cost_s: float = 0.0,
                  deadline_s: Optional[float] = None,
-                 trace: Optional[Any] = None):
+                 trace: Optional[Any] = None,
+                 priority: str = "interactive"):
         """Process generator: route one request to a worker of the type.
 
         Retries with fresh lottery draws on refusal or timeout, pausing
@@ -271,6 +285,8 @@ class ManagerStub:
         env = self.cluster.env
         config = self.config
         self.dispatches += 1
+        if self.retry_budget is not None:
+            self.retry_budget.earn()
         if deadline_s is None:
             deadline_s = config.dispatch_deadline_s
         if deadline_s is None:
@@ -287,6 +303,14 @@ class ManagerStub:
         try:
             for attempt in range(config.dispatch_attempts):
                 if attempt > 0:
+                    if self.retry_budget is not None \
+                            and not self.retry_budget.try_spend():
+                        # budget exhausted: a retry storm is exactly
+                        # what would follow — fail over to the
+                        # caller's fallback instead
+                        raise DispatchError(
+                            f"retry budget exhausted for "
+                            f"{worker_type!r}")
                     self.retries += 1
                     backoff = self._backoff_delay(attempt)
                     if backoff > 0:
@@ -322,6 +346,7 @@ class ManagerStub:
                     expected_cost_s=expected_cost_s,
                     deadline_at=deadline_at,
                     trace=span,
+                    priority=priority,
                 )
                 # ship the input across the SAN
                 mark = env.now

@@ -151,6 +151,9 @@ class WorkEnvelope:
     #: causal trace context (a repro.obs Span) threaded across the SAN
     #: hop; ``None`` when tracing is off or the request is unsampled.
     trace: Optional[Any] = None
+    #: request priority class ("interactive" or "batch"): carried so
+    #: downstream stages can favour interactive work under overload.
+    priority: str = "interactive"
     #: set by the receiving stub when the envelope joins its queue, so
     #: the service loop can close the queueing span.
     enqueued_at: Optional[float] = None

@@ -101,6 +101,13 @@ class ReplicatedProfileStore:
         self.failed_writes = 0
         self.unavailable_reads = 0
         self.read_repairs = 0
+        #: brownout controller (repro.degrade), wired by the fabric;
+        #: at the relaxed-reads ladder level reads stop at the first
+        #: authoritative replica (R=1) and skip read repair.  Writes
+        #: keep their quorum unconditionally — degraded harvest only,
+        #: never degraded durability.
+        self.degradation: Optional[Any] = None
+        self.relaxed_reads = 0
         #: analytic price of the most recent read/write, for the
         #: service layer to charge as simulated time.
         self.last_op_cost_s = 0.0
@@ -138,6 +145,8 @@ class ReplicatedProfileStore:
         partition = self.partitioner.partition_of(user_id)
         cost = 0.0
         hops = 0
+        relaxed = (self.degradation is not None
+                   and self.degradation.relaxed_reads_active)
         #: (brick, cells-or-None-for-recovering) from responsive replicas
         answers = []
         for slot in self.partitioner.slots_of(partition):
@@ -150,6 +159,12 @@ class ReplicatedProfileStore:
                 continue
             cost += QUORUM_HOP_S + brick.service_s()
             answers.append((brick, brick.read_user(partition, user_id)))
+            if relaxed and answers[-1][1] is not None:
+                # R=1: the first authoritative answer wins — possibly
+                # missing a newer version on an unread replica, which
+                # is exactly the harvest this level trades away
+                self.relaxed_reads += 1
+                break
         self.quorum_reads += 1
         self.last_op_cost_s = cost
         self.last_op_hops = hops
@@ -164,12 +179,13 @@ class ReplicatedProfileStore:
                 current = merged.get(key)
                 if current is None or current[0] < version:
                     merged[key] = (version, value)
-        for brick, cells in answers:
-            if cells is None or any(
-                    key not in cells or cells[key][0] < version
-                    for key, (version, _) in merged.items()):
-                brick.apply_repair(partition, user_id, dict(merged))
-                self.read_repairs += 1
+        if not relaxed:
+            for brick, cells in answers:
+                if cells is None or any(
+                        key not in cells or cells[key][0] < version
+                        for key, (version, _) in merged.items()):
+                    brick.apply_repair(partition, user_id, dict(merged))
+                    self.read_repairs += 1
         return merged
 
     # -- writes --------------------------------------------------------------
@@ -316,4 +332,5 @@ class ReplicatedProfileStore:
             "failed_writes": self.failed_writes,
             "unavailable_reads": self.unavailable_reads,
             "read_repairs": self.read_repairs,
+            "relaxed_reads": self.relaxed_reads,
         }

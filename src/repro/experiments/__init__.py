@@ -67,6 +67,10 @@ from repro.experiments.endtoend_latency import (
     EndToEndResult,
     run_endtoend,
 )
+from repro.experiments.flash_crowd import (
+    FlashCrowdResult,
+    run_flash_crowd,
+)
 
 __all__ = [
     "CacheStudyResult",
@@ -76,6 +80,7 @@ __all__ = [
     "Figure6Result",
     "Figure7Result",
     "Figure8Result",
+    "FlashCrowdResult",
     "FrontEndStateResult",
     "HotBotDegradationResult",
     "HotBotThroughputResult",
@@ -91,6 +96,7 @@ __all__ = [
     "run_figure6",
     "run_figure7",
     "run_figure8",
+    "run_flash_crowd",
     "run_frontend_state",
     "run_hotbot_degradation",
     "run_hotbot_throughput",

@@ -184,6 +184,7 @@ def build_bench_fabric(
     brick_ledger: Any = None,
     manager_backend: Optional[str] = None,
     routing_policy: Optional[str] = None,
+    service_backend: Optional[str] = None,
 ) -> SNSFabric:
     """Assemble the bench fabric; ``manager_backend`` selects the
     control plane (``None``/``"soft"`` = the paper's single soft-state
@@ -201,37 +202,54 @@ def build_bench_fabric(
     * ``"dstore"`` — the replicated brick store (``n_bricks`` /
       ``brick_replicas``), hung off the fabric as
       ``fabric.profile_bricks`` for chaos and supervision to reach.
+
+    ``service_backend`` selects the service layer: ``None`` keeps the
+    classic bench services above; ``"degradable"`` installs
+    :class:`~repro.degrade.service.DegradableBenchService` (freshness
+    cache, capacity-limited origin with circuit breaker, brownout
+    distiller) over whatever profile backend was chosen — the shape the
+    flash-crowd campaigns run, with or without a controller driving it.
     """
     if routing_policy is not None:
         from dataclasses import replace
         config = replace(config or SNSConfig(),
                          routing_policy=routing_policy)
+    config = (config or SNSConfig()).validate()
     cluster = Cluster(seed=seed, san_bandwidth_bps=san_bandwidth_bps)
     cluster.add_nodes(n_nodes)
     if n_overflow:
         cluster.add_nodes(n_overflow, prefix="ovf", overflow=True)
     registry = WorkerRegistry()
-    registry.register_class(JpegDistiller)
+    if service_backend == "degradable":
+        from repro.degrade.service import BrownoutJpegDistiller
+        registry.register_class(BrownoutJpegDistiller)
+    else:
+        registry.register_class(JpegDistiller)
     if profile_backend is None:
-        service = JpegBenchService(cluster)
         store = None
         bricks = None
     elif profile_backend == "single":
         from repro.tacc.customization import ProfileStore
         store = ProfileStore()
         bricks = None
-        service = ProfileBenchService(cluster, store)
     elif profile_backend == "dstore":
         from repro.dstore import BrickCluster, ReplicatedProfileStore
         bricks = BrickCluster(cluster, n_bricks=n_bricks,
                               replicas=brick_replicas,
                               ledger=brick_ledger).boot()
         store = ReplicatedProfileStore(bricks)
-        service = ProfileBenchService(cluster, store)
     else:
         raise ValueError(f"unknown profile backend {profile_backend!r}")
+    if service_backend is None:
+        service = (JpegBenchService(cluster) if store is None
+                   else ProfileBenchService(cluster, store))
+    elif service_backend == "degradable":
+        from repro.degrade.service import DegradableBenchService
+        service = DegradableBenchService(cluster, store, config)
+    else:
+        raise ValueError(f"unknown service backend {service_backend!r}")
     fabric = SNSFabric(
-        cluster, registry, (config or SNSConfig()).validate(), service,
+        cluster, registry, config, service,
         frontend_link_bandwidth_bps=frontend_link_bandwidth_bps,
         manager_backend=manager_backend or "soft")
     fabric.profile_store = store

@@ -24,6 +24,7 @@ from repro.core.config import SNSConfig
 from repro.core.fabric import SNSFabric
 from repro.core.frontend import FrontEnd, Response
 from repro.core.manager_stub import DispatchError
+from repro.degrade.guards import OriginUnavailable
 from repro.distillers.gif import GifDistiller
 from repro.distillers.html import HtmlMunger
 from repro.distillers.jpeg import JpegDistiller
@@ -79,6 +80,18 @@ class TranSendLogic:
         #: optional AdaptationPolicy (Section 5.4): tunes distillation
         #: parameters to each client's estimated bandwidth.
         self.adaptation = adaptation
+        #: brownout controller (repro.degrade), wired by the fabric;
+        #: None = no degradation ladder on this service.
+        self.degradation: Optional[Any] = None
+        #: origin circuit breaker (repro.degrade.guards), config-gated.
+        self.origin_breaker: Optional[Any] = None
+        if config.origin_breaker_failures is not None:
+            from repro.degrade.guards import CircuitBreaker
+            self.origin_breaker = CircuitBreaker(
+                lambda: cluster.env.now,
+                config.origin_breaker_failures,
+                config.origin_breaker_cooldown_s,
+                config.origin_breaker_slow_s)
         registry = registry or transend_registry()
         self._estimators = {
             worker_type: registry.create(worker_type)
@@ -127,10 +140,25 @@ class TranSendLogic:
         if self.adaptation is not None:
             preferences = self.adaptation.adapt(record.client_id,
                                                 preferences)
+        degraded_fidelity = (self.degradation is not None
+                             and self.degradation.fidelity_reduced)
+        if degraded_fidelity:
+            # reduced-fidelity brownout: the lowest adaptation tier,
+            # forced cluster-wide — unlike per-client adaptation this
+            # overrides even explicit user choices, because the knob
+            # exists to shed distiller load, not to please one client
+            tier = self.degradation.forced_tier
+            preferences = dict(preferences)
+            preferences["quality"] = tier.quality
+            preferences["scale"] = tier.scale
+            preferences["_degrade_forced_tier"] = tier.label
 
         worker_type = DISTILLER_FOR_MIME.get(record.mime)
         if not self._should_distill(record, preferences, worker_type):
-            original = yield from self._get_original(record, trace)
+            try:
+                original = yield from self._get_original(record, trace)
+            except OriginUnavailable:
+                return (yield from self._breaker_fallback(record, trace))
             return self._respond("passthrough", "ok", original)
 
         # 1. is the exact distilled representation already cached?
@@ -140,8 +168,25 @@ class TranSendLogic:
             if cached is not None:
                 return self._respond("cache-hit-distilled", "ok", cached)
 
+        # 1b. serve-stale brownout: any cached variant of this URL —
+        # whatever its parameters or age — beats spending a distiller
+        # slot while the ladder says the cluster is saturated
+        if self.degradation is not None \
+                and self.degradation.serve_stale_active:
+            variant = yield from self.cachesys.any_variant(
+                record.url, trace=trace)
+            if variant is not None:
+                return self._respond(
+                    "serve-stale", "degraded", variant,
+                    detail="stale variant under brownout",
+                    annotations={"degrade_level": 2,
+                                 "degrade_mode": "serve-stale"})
+
         # 2. fetch the original (cache, else Internet)
-        original = yield from self._get_original(record, trace)
+        try:
+            original = yield from self._get_original(record, trace)
+        except OriginUnavailable:
+            return (yield from self._breaker_fallback(record, trace))
 
         # 3. distill
         request = TACCRequest(
@@ -171,6 +216,11 @@ class TranSendLogic:
 
         if self.config.cache_distilled:
             self.cachesys.store(key, result, variant_of=record.url)
+        if degraded_fidelity:
+            return self._respond(
+                "distilled-low-fidelity", "degraded", result,
+                annotations={"degrade_level": 1,
+                             "degrade_mode": "reduced-fidelity"})
         return self._respond("distilled", "ok", result)
 
     def _should_distill(self, record: TraceRecord,
@@ -190,15 +240,42 @@ class TranSendLogic:
         cached = yield from self.cachesys.lookup(key, trace=trace)
         if cached is not None:
             return cached
-        content = yield from self.origin.fetch(record, trace=trace)
+        breaker = self.origin_breaker
+        if breaker is not None and not breaker.allow():
+            raise OriginUnavailable(record.url)
+        mark = self.cluster.env.now
+        try:
+            content = yield from self.origin.fetch(record, trace=trace)
+        except Exception:
+            if breaker is not None:
+                breaker.record(self.cluster.env.now - mark, ok=False)
+            raise
+        if breaker is not None:
+            breaker.record(self.cluster.env.now - mark, ok=True)
         self.cachesys.store(key, content)
         return content
 
+    def _breaker_fallback(self, record: TraceRecord, trace=None):
+        """Origin breaker open: a cached variant if one exists, else an
+        error — fast either way, which is the breaker's whole point."""
+        variant = yield from self.cachesys.any_variant(record.url,
+                                                       trace=trace)
+        if variant is not None:
+            return self._respond("fallback-variant", "fallback", variant,
+                                 detail="origin breaker open")
+        self.paths["origin-breaker"] = \
+            self.paths.get("origin-breaker", 0) + 1
+        return Response(status="error", path="origin-breaker",
+                        detail="origin circuit breaker open")
+
     def _respond(self, path: str, status: str, content: Content,
-                 detail: str = "") -> Response:
+                 detail: str = "",
+                 annotations: Optional[Dict[str, Any]] = None
+                 ) -> Response:
         self.paths[path] = self.paths.get(path, 0) + 1
         return Response(status=status, path=path, content=content,
-                        size_bytes=content.size, detail=detail)
+                        size_bytes=content.size, detail=detail,
+                        annotations=annotations or {})
 
 
 class TranSend:

@@ -22,20 +22,29 @@ class TraceRecord:
     url: str
     mime: str
     size_bytes: int
+    #: request priority class: "interactive" (a human waiting) or
+    #: "batch" (crawlers, prefetchers) — what priority-class admission
+    #: sheds first under overload.
+    priority: str = "interactive"
 
     def to_line(self) -> str:
-        return "\t".join([
+        fields = [
             f"{self.timestamp:.6f}",
             self.client_id,
             self.url,
             self.mime,
             str(self.size_bytes),
-        ])
+        ]
+        # the 6th column appears only for non-default priorities, so
+        # traces written before the field existed stay byte-identical
+        if self.priority != "interactive":
+            fields.append(self.priority)
+        return "\t".join(fields)
 
     @classmethod
     def from_line(cls, line: str) -> "TraceRecord":
         parts = line.rstrip("\n").split("\t")
-        if len(parts) != 5:
+        if len(parts) not in (5, 6):
             raise ValueError(f"malformed trace line: {line!r}")
         return cls(
             timestamp=float(parts[0]),
@@ -43,6 +52,7 @@ class TraceRecord:
             url=parts[2],
             mime=parts[3],
             size_bytes=int(parts[4]),
+            priority=parts[5] if len(parts) == 6 else "interactive",
         )
 
 

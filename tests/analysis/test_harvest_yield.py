@@ -14,6 +14,7 @@ from repro.analysis.metrics import (
 @dataclass
 class FakeResponse:
     status: str
+    path: str = ""
 
 
 @dataclass
@@ -23,9 +24,9 @@ class FakeOutcome:
     response: Optional[Any] = None
 
 
-def outcome(at, status=None, ok=True):
+def outcome(at, status=None, ok=True, path=""):
     return FakeOutcome(at, ok,
-                       FakeResponse(status) if status else None)
+                       FakeResponse(status, path) if status else None)
 
 
 def test_series_buckets_by_submission_time():
@@ -58,6 +59,29 @@ def test_error_replies_count_against_yield():
     assert series[0]["answered"] == 1
     assert series[0]["yield"] == 0.5
     assert series[0]["harvest"] == 1.0
+
+
+def test_shed_replies_get_their_own_column():
+    """A shed is a yield loss the admission controller *chose*: it must
+    count against yield like any error, but land in the ``shed`` column
+    so overload reports can separate deliberate load-shedding from
+    degraded answers and from plain failures."""
+    outcomes = [
+        outcome(0.0, "ok"),
+        outcome(0.1, "error", ok=True, path="shed"),
+        outcome(0.2, "error", ok=True, path="shed-priority"),
+        outcome(0.3, "error", ok=True, path="shed-deadline"),
+        outcome(0.4, "error", ok=True),            # generic error page
+        outcome(0.5, None, ok=False),              # timeout
+        outcome(0.6, "fallback"),                  # degraded answer
+    ]
+    series = harvest_yield_series(outcomes, bucket_s=1.0)
+    row = series[0]
+    assert row["shed"] == 3                 # only the shed-* paths
+    assert row["answered"] == 2             # the ok and the fallback
+    assert row["degraded"] == 1             # fallback: harvest loss
+    assert row["yield"] == pytest.approx(2 / 7)
+    assert row["harvest"] == pytest.approx(1 / 2)
 
 
 def test_empty_input_and_validation():

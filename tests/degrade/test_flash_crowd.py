@@ -1,0 +1,54 @@
+"""The flash-crowd comparison: the controller holds its yield SLO
+through a 10x burst that collapses the binary-shed baseline."""
+
+import pytest
+
+from repro.experiments.flash_crowd import (
+    BASELINE_YIELD_CEILING,
+    CONTROLLER_YIELD_SLO,
+    run_flash_crowd,
+)
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_flash_crowd(seed=3)
+
+
+def test_controller_holds_the_yield_slo(result):
+    assert result.controller.overall_yield >= CONTROLLER_YIELD_SLO
+    assert result.controller.ok  # every invariant held, yield SLO too
+    assert result.controller_held_slo
+
+
+def test_baseline_collapses_under_the_same_burst(result):
+    assert result.baseline.overall_yield < BASELINE_YIELD_CEILING
+    assert result.baseline_collapsed
+    assert result.ok
+    # the amplification the guards exist to cut: a retry storm
+    assert result.baseline.counters["dispatch_retries"] > 100
+
+
+def test_controller_actually_walked_the_ladder(result):
+    degradation = result.controller.degradation
+    assert degradation["peak_level"] >= 2  # at least serve-stale
+    assert degradation["transitions"]
+    assert degradation["level_time"]["full"] > 0.0
+    counters = result.controller.counters
+    assert counters["stale_served"] > 0
+    assert counters["low_fidelity_served"] > 0
+
+
+def test_harvest_ledger_separates_degraded_from_shed(result):
+    controller = result.controller
+    assert controller.degraded_replies > 0       # harvest spent...
+    assert controller.overall_harvest < 1.0
+    assert controller.overall_yield >= CONTROLLER_YIELD_SLO  # ...not yield
+
+
+def test_render_carries_the_verdict(result):
+    rendered = result.render()
+    assert "verdict: controller held" in rendered
+    assert "baseline collapsed" in rendered
+    assert "--- controller arm ---" in rendered
+    assert "--- baseline arm ---" in rendered

@@ -37,6 +37,43 @@ def test_estimator_ignores_degenerate_samples():
     assert estimator.observations == 0
 
 
+def test_degenerate_samples_leave_the_estimate_untouched():
+    """Zero-length responses and zero/negative elapsed times carry no
+    bandwidth information; they must not drag the EWMA toward zero or
+    divide by zero."""
+    estimator = BandwidthEstimator(alpha=0.5, default_bps=3600.0)
+    estimator.observe("c1", bytes_sent=10_000, elapsed_s=1.0)
+    settled = estimator.bandwidth_bps("c1")
+    estimator.observe("c1", bytes_sent=0, elapsed_s=1.0)
+    estimator.observe("c1", bytes_sent=-50, elapsed_s=1.0)
+    estimator.observe("c1", bytes_sent=100, elapsed_s=0.0)
+    estimator.observe("c1", bytes_sent=100, elapsed_s=-2.0)
+    assert estimator.bandwidth_bps("c1") == settled
+    assert estimator.observations == 1
+    # an unobserved client is likewise untouched by its own junk
+    estimator.observe("c2", bytes_sent=0, elapsed_s=0.0)
+    assert estimator.bandwidth_bps("c2") == 3600.0
+
+
+def test_ewma_weights_recent_samples_so_order_matters():
+    """The EWMA is order-dependent by design: the same two samples in
+    opposite orders settle on different estimates (exact values,
+    alpha = 0.5: first sample seeds the estimate, then
+    0.5*new + 0.5*old)."""
+    ab = BandwidthEstimator(alpha=0.5)
+    ab.observe("c", bytes_sent=1000, elapsed_s=1.0)   # seeds at 1000
+    ab.observe("c", bytes_sent=3000, elapsed_s=1.0)   # 0.5*3000+0.5*1000
+    assert ab.bandwidth_bps("c") == 2000.0
+    ba = BandwidthEstimator(alpha=0.5)
+    ba.observe("c", bytes_sent=3000, elapsed_s=1.0)   # seeds at 3000
+    ba.observe("c", bytes_sent=1000, elapsed_s=1.0)
+    assert ba.bandwidth_bps("c") == 2000.0
+    ab.observe("c", bytes_sent=1000, elapsed_s=1.0)   # 0.5*1000+0.5*2000
+    ba.observe("c", bytes_sent=3000, elapsed_s=1.0)
+    assert ab.bandwidth_bps("c") == 1500.0
+    assert ba.bandwidth_bps("c") == 2500.0  # late sample dominates
+
+
 def test_estimator_validates():
     with pytest.raises(ValueError):
         BandwidthEstimator(alpha=0.0)
@@ -77,6 +114,30 @@ def test_unknown_client_uses_default_modem_tier():
     policy = AdaptationPolicy()
     adapted = policy.adapt("stranger", {})
     assert "28.8" in adapted["_adaptation_tier"]
+
+
+def test_tier_boundaries_are_inclusive_on_the_low_side():
+    """A client measured at *exactly* a tier's bandwidth bound belongs
+    to that tier (``<=`` semantics): 2160 B/s is still the 14.4k modem,
+    4320 B/s is still the 28.8k modem."""
+    policy = AdaptationPolicy()
+    cases = [
+        (MODEM_14_4_BPS, "14.4"),    # 1800 B/s, well inside
+        (2160.0, "14.4"),            # exactly the 14.4k bound
+        (2160.1, "28.8"),            # just over: next tier up
+        (MODEM_28_8_BPS, "28.8"),    # 3600 B/s
+        (4320.0, "28.8"),            # exactly the 28.8k bound
+        (4320.1, "ISDN"),
+    ]
+    for index, (bps, expected) in enumerate(cases):
+        client = f"edge{index}"
+        # a single observation seeds the EWMA with the raw sample, so
+        # the estimate is exactly ``bps``
+        policy.estimator.observe(client, bytes_sent=int(bps * 10),
+                                 elapsed_s=10.0)
+        adapted = policy.adapt(client, {})
+        assert expected in adapted["_adaptation_tier"], \
+            (bps, adapted["_adaptation_tier"])
 
 
 def test_tier_validation():
