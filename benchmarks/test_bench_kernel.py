@@ -1,13 +1,16 @@
 """Kernel throughput benchmark: the committed perf trajectory.
 
-Two phases, one JSON:
+Three phases, one JSON:
 
 1. **Queue-heavy microbench** (events/sec): bursty producers drive
    consumer processes through deep :class:`~repro.sim.kernel.Queue`
    backlogs — the regime a saturated worker hits during a
    million-request overload, and exactly where the pre-deque kernel's
    ``list.pop(0)`` went quadratic.
-2. **Streaming trace replay** (requests/sec): a 1M-request synthetic
+2. **Timer-coalescing microbench** (ticks/sec): N same-period
+   maintenance loops as processes vs as one coalesced periodic bucket
+   (:meth:`~repro.sim.kernel.Environment.periodic`).
+3. **Streaming trace replay** (requests/sec): a 1M-request synthetic
    fixed-JPEG trace (Section 4.6's scalability workload) streams through
    the playback engine in bounded memory — the trace is generated
    lazily, outcomes are aggregated instead of recorded — against a
@@ -98,19 +101,81 @@ def run_queue_heavy(scale: float = 1.0) -> dict:
     }
 
 
-# -- phase 2: streaming 1M-request replay, requests/sec --------------------
+# -- phase 2: coalesced periodic timers, ticks/sec --------------------------
+
+
+def _timer_loop(env, period, counter):
+    """The pre-coalescing shape: one process + one timeout per tick."""
+    while True:
+        yield env.timeout(period)
+        counter[0] += 1
+
+
+def run_timer_coalescing(scale: float = 1.0) -> dict:
+    """N same-period maintenance loops: process loops vs one bucket.
+
+    This is the cluster's beacon/report/watchdog pattern at population
+    scale — every front end, worker stub, and supervisor used to own a
+    ``while True: yield timeout(T)`` process.  The coalesced path drives
+    all N callbacks from a single recurring heap event per interval.
+    """
+    n_timers = 256
+    sim_s = max(20.0, 400.0 * scale)
+
+    env = Environment()
+    loop_count = [0]
+    for _ in range(n_timers):
+        env.process(_timer_loop(env, 1.0, loop_count))
+    start = time.perf_counter()
+    env.run(until=sim_s)
+    loop_elapsed = time.perf_counter() - start
+    loop_events = env._seq
+
+    env = Environment()
+    coalesced_count = [0]
+
+    def _tick():
+        coalesced_count[0] += 1
+
+    for _ in range(n_timers):
+        env.periodic(1.0, _tick)
+    start = time.perf_counter()
+    env.run(until=sim_s)
+    coalesced_elapsed = time.perf_counter() - start
+    coalesced_events = env._seq
+
+    assert coalesced_count[0] == loop_count[0]  # same tick trajectory
+    ticks = loop_count[0]
+    return {
+        "n_timers": n_timers,
+        "sim_seconds": sim_s,
+        "ticks": ticks,
+        "loop_events": loop_events,
+        "coalesced_events": coalesced_events,
+        "loop_ticks_per_sec": round(ticks / loop_elapsed),
+        "coalesced_ticks_per_sec": round(ticks / coalesced_elapsed),
+        "event_reduction": round(loop_events / coalesced_events, 1),
+    }
+
+
+# -- phase 3: streaming 1M-request replay, requests/sec --------------------
 
 
 def _reply_ok(event):
     event._value.succeed("ok")
 
 
-def _server(env, requests, network):
-    """Minimal service: dequeue, pay the SAN reply transfer, respond."""
-    while True:
-        record, reply = yield requests.get()
-        delay = network.transfer_delay(record.size_bytes)
-        env.schedule_call(delay, _reply_ok, reply)
+def _start_servers(env, requests, network, n_servers):
+    """Minimal service, callback style: dequeue, pay the SAN reply
+    transfer, respond, re-arm — no generator resume per request."""
+    def _serve(event):
+        record, reply = event._value
+        env.schedule_call(network.transfer_delay(record.size_bytes),
+                          _reply_ok, reply)
+        requests.get().callbacks.append(_serve)
+
+    for _ in range(n_servers):
+        requests.get().callbacks.append(_serve)
 
 
 def run_trace_replay(scale: float = 1.0) -> dict:
@@ -120,8 +185,7 @@ def run_trace_replay(scale: float = 1.0) -> dict:
     env = Environment()
     network = Network(env, bandwidth_bps=1_000 * MBPS)
     requests = env.queue()
-    for _ in range(8):
-        env.process(_server(env, requests, network))
+    _start_servers(env, requests, network, 8)
 
     def submit(record):
         reply = env.event()
@@ -130,7 +194,7 @@ def run_trace_replay(scale: float = 1.0) -> dict:
 
     engine = PlaybackEngine(env, submit, record_outcomes=False)
     trace = iter_fixed_jpeg_trace(rate_rps, n_requests, seed=1997)
-    env.process(engine.play(trace))
+    engine.play_scheduled(trace)
     start = time.perf_counter()
     env.run()
     elapsed = time.perf_counter() - start
@@ -158,6 +222,7 @@ def test_kernel_throughput(benchmark):
     def measure():
         return {
             "queue_heavy": run_queue_heavy(SCALE),
+            "timer_coalescing": run_timer_coalescing(SCALE),
             "trace_replay": run_trace_replay(SCALE),
         }
 
@@ -188,3 +253,5 @@ def test_kernel_throughput(benchmark):
     # sanity floors (far below any real machine, catches pathologies)
     assert result["queue_heavy"]["events_per_sec"] > 10_000
     assert result["trace_replay"]["requests_per_sec"] > 1_000
+    # the whole point of coalescing: far fewer kernel events per tick
+    assert result["timer_coalescing"]["event_reduction"] > 2

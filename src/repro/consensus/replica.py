@@ -141,8 +141,9 @@ class ManagerReplica(Manager):
             CONSENSUS_GROUP).subscribe(self.name)
         self.spawn(self._consensus_loop())
         self.spawn(self._steer_loop())
-        self.spawn(self._beacon_loop())
-        self.spawn(self._policy_loop())
+        self.every(self.config.beacon_interval_s, self._beacon_tick,
+                   first_delay=0)
+        self.every(self.config.beacon_interval_s, self._policy_tick)
         if self.index == 0 and self.leader_ballot < 0:
             # bootstrap: replica 0 campaigns immediately so the fabric
             # has a leader before the first requests arrive
@@ -379,44 +380,39 @@ class ManagerReplica(Manager):
 
     # -- the manager API, gated on the lease ----------------------------------
 
-    def _beacon_loop(self):
-        group = self.cluster.multicast.group(BEACON_GROUP)
-        monitor_group = self.cluster.multicast.group(MONITOR_GROUP)
-        while True:
-            if self.is_active_leader():
-                beacon = ManagerBeacon(
-                    manager_id=self.name,
-                    incarnation=self.ballot,
-                    manager=self,
-                    sent_at=self.env.now,
-                    adverts=self._build_adverts(),
-                    lease_until=self.lease_expires_at,
-                )
-                group.publish(beacon, size_bytes=BEACON_BYTES,
-                              sender=self.name)
-                monitor_group.publish(MonitorReport(
-                    component=self.name,
-                    kind="manager",
-                    sent_at=self.env.now,
-                    payload={
-                        "workers": len(self.workers),
-                        "frontends": len(self.frontends),
-                        "incarnation": self.ballot,
-                        "role": "leader",
-                    },
-                ), sender=self.name)
-                self.beacons_sent += 1
-            yield self.env.timeout(self.config.beacon_interval_s)
+    def _beacon_tick(self) -> None:
+        if not self.is_active_leader():
+            return
+        beacon = ManagerBeacon(
+            manager_id=self.name,
+            incarnation=self.ballot,
+            manager=self,
+            sent_at=self.env.now,
+            adverts=self._build_adverts(),
+            lease_until=self.lease_expires_at,
+        )
+        self.cluster.multicast.group(BEACON_GROUP).publish(
+            beacon, size_bytes=BEACON_BYTES, sender=self.name)
+        self.cluster.multicast.group(MONITOR_GROUP).publish(MonitorReport(
+            component=self.name,
+            kind="manager",
+            sent_at=self.env.now,
+            payload={
+                "workers": len(self.workers),
+                "frontends": len(self.frontends),
+                "incarnation": self.ballot,
+                "role": "leader",
+            },
+        ), sender=self.name)
+        self.beacons_sent += 1
 
-    def _policy_loop(self):
-        while True:
-            yield self.env.timeout(self.config.beacon_interval_s)
-            if not self.is_active_leader():
-                continue
-            self._expire_silent_workers()
-            self._expire_unseen_members()
-            self._spawn_check()
-            self._reap_check()
+    def _policy_tick(self) -> None:
+        if not self.is_active_leader():
+            return
+        self._expire_silent_workers()
+        self._expire_unseen_members()
+        self._spawn_check()
+        self._reap_check()
 
     def _build_adverts(self) -> Dict[str, WorkerAdvert]:
         """Hints from committed membership joined with live reports.

@@ -13,7 +13,7 @@ from __future__ import annotations
 from typing import Any, Callable, List, Optional
 
 from repro.sim.cluster import Cluster
-from repro.sim.kernel import Environment, Interrupt, Process
+from repro.sim.kernel import Environment, Interrupt, PeriodicHandle, Process
 from repro.sim.node import Node
 
 
@@ -31,6 +31,7 @@ class Component:
         self.started_at: Optional[float] = None
         self.killed_at: Optional[float] = None
         self._procs: List[Process] = []
+        self._timers: List[PeriodicHandle] = []
         self._on_death: List[Callable[["Component"], None]] = []
 
     # -- life cycle ----------------------------------------------------------
@@ -64,6 +65,27 @@ class Component:
         except Interrupt:
             pass
 
+    def every(self, period: float, callback: Callable[[], None], *,
+              first_delay: Optional[float] = None) -> PeriodicHandle:
+        """Register a coalesced periodic callback, cancelled on kill().
+
+        The timer analogue of :meth:`spawn`: maintenance work that used
+        to be a ``while True: yield timeout(period)`` process becomes a
+        yield-free callback on the environment's shared periodic buckets
+        (:meth:`repro.sim.kernel.Environment.periodic`), so N nodes with
+        the same report interval cost one heap event per interval
+        instead of N.  The callback never runs after the component dies:
+        kill() cancels the handle, and a defensive liveness check guards
+        the same-tick race where the bucket fires before a kill lands.
+        """
+        def _tick() -> None:
+            if self.alive:
+                callback()
+
+        handle = self.env.periodic(period, _tick, first_delay=first_delay)
+        self._timers.append(handle)
+        return handle
+
     def kill(self) -> None:
         """Crash the component (SIGKILL semantics)."""
         if not self.alive:
@@ -78,6 +100,9 @@ class Component:
             if process.is_alive and process is not self.env.active_process:
                 process.interrupt(f"{self.name} killed")
         self._procs.clear()
+        for handle in self._timers:
+            handle.cancel()
+        self._timers.clear()
         self._on_crash()
         for callback in self._on_death:
             callback(self)

@@ -300,8 +300,12 @@ class FrontEnd(Component):
 
     def _start_processes(self) -> None:
         self.spawn(self._beacon_listener())
-        self.spawn(self._manager_watchdog())
-        self.spawn(self._heartbeat_loop())
+        # Maintenance ticks ride the kernel's coalesced periodic timers:
+        # every front end shares one heap event per beacon interval
+        # instead of owning a watchdog timeout plus a heartbeat timeout.
+        self._watchdog_timer = self.every(
+            self.config.beacon_interval_s, self._watchdog_check)
+        self.every(self.config.report_interval_s, self._send_heartbeat)
         if self.config.balancing == "distributed":
             self.spawn(self._announcement_listener())
 
@@ -348,34 +352,32 @@ class FrontEnd(Component):
         else:
             channel.close()
 
-    def _heartbeat_loop(self):
-        while True:
-            yield self.env.timeout(self.config.report_interval_s)
-            endpoint = self._manager_endpoint
-            if endpoint is None:
-                continue
-            try:
-                endpoint.send({"heartbeat": self.name,
-                               "active": self.active_requests},
-                              size_bytes=REPORT_BYTES)
-            except ChannelClosed:
-                self._manager_endpoint = None
+    def _send_heartbeat(self) -> None:
+        endpoint = self._manager_endpoint
+        if endpoint is None:
+            return
+        try:
+            endpoint.send({"heartbeat": self.name,
+                           "active": self.active_requests},
+                          size_bytes=REPORT_BYTES)
+        except ChannelClosed:
+            self._manager_endpoint = None
 
-    def _manager_watchdog(self):
+    def _watchdog_check(self) -> None:
         """Process-peer duty: restart the manager when its beacons stop.
 
         "The front end detects and restarts a crashed manager."
         """
         tolerance_s = (self.config.beacon_loss_tolerance
                        * self.config.beacon_interval_s)
-        while True:
-            yield self.env.timeout(self.config.beacon_interval_s)
-            if self.stub.last_beacon_at is None:
-                continue  # never heard one; the fabric boots the first
-            if self.stub.beacon_age() > tolerance_s:
-                self.fabric.restart_manager(requested_by=self.name)
-                # give the new manager a chance to start beaconing
-                yield self.env.timeout(tolerance_s)
+        if self.stub.last_beacon_at is None:
+            return  # never heard one; the fabric boots the first
+        if self.stub.beacon_age() > tolerance_s:
+            self.fabric.restart_manager(requested_by=self.name)
+            # give the new manager a chance to start beaconing before
+            # checking again (the skipped ticks keep the old cadence:
+            # tolerance is a whole number of beacon intervals)
+            self._watchdog_timer.defer(tolerance_s)
 
     # -- crash ------------------------------------------------------------------------------
 

@@ -149,8 +149,14 @@ class Manager(Component):
     # -- processes ------------------------------------------------------------
 
     def _start_processes(self) -> None:
-        self.spawn(self._beacon_loop())
-        self.spawn(self._policy_loop())
+        # Body-first beacon then sleep-first policy: both share the
+        # beacon-interval periodic bucket, beacon first — the same
+        # within-tick order the two process loops produced.
+        self._beacon_group = self.cluster.multicast.group(BEACON_GROUP)
+        self._monitor_group = self.cluster.multicast.group(MONITOR_GROUP)
+        self.every(self.config.beacon_interval_s, self._publish_beacon,
+                   first_delay=0)
+        self.every(self.config.beacon_interval_s, self._policy_tick)
         if self.config.manager_self_deposition:
             self.spawn(self._deposition_loop())
 
@@ -173,30 +179,27 @@ class Manager(Component):
                 self.kill()
                 return
 
-    def _beacon_loop(self):
-        group = self.cluster.multicast.group(BEACON_GROUP)
-        monitor_group = self.cluster.multicast.group(MONITOR_GROUP)
-        while True:
-            beacon = ManagerBeacon(
-                manager_id=self.name,
-                incarnation=self.incarnation,
-                manager=self,
-                sent_at=self.env.now,
-                adverts=self._build_adverts(),
-            )
-            group.publish(beacon, size_bytes=BEACON_BYTES, sender=self.name)
-            monitor_group.publish(MonitorReport(
-                component=self.name,
-                kind="manager",
-                sent_at=self.env.now,
-                payload={
-                    "workers": len(self.workers),
-                    "frontends": len(self.frontends),
-                    "incarnation": self.incarnation,
-                },
-            ), sender=self.name)
-            self.beacons_sent += 1
-            yield self.env.timeout(self.config.beacon_interval_s)
+    def _publish_beacon(self) -> None:
+        beacon = ManagerBeacon(
+            manager_id=self.name,
+            incarnation=self.incarnation,
+            manager=self,
+            sent_at=self.env.now,
+            adverts=self._build_adverts(),
+        )
+        self._beacon_group.publish(
+            beacon, size_bytes=BEACON_BYTES, sender=self.name)
+        self._monitor_group.publish(MonitorReport(
+            component=self.name,
+            kind="manager",
+            sent_at=self.env.now,
+            payload={
+                "workers": len(self.workers),
+                "frontends": len(self.frontends),
+                "incarnation": self.incarnation,
+            },
+        ), sender=self.name)
+        self.beacons_sent += 1
 
     def _build_adverts(self) -> Dict[str, WorkerAdvert]:
         return {
@@ -212,12 +215,10 @@ class Manager(Component):
             for info in self.workers.values()
         }
 
-    def _policy_loop(self):
-        while True:
-            yield self.env.timeout(self.config.beacon_interval_s)
-            self._expire_silent_workers()
-            self._spawn_check()
-            self._reap_check()
+    def _policy_tick(self) -> None:
+        self._expire_silent_workers()
+        self._spawn_check()
+        self._reap_check()
 
     # -- registration and report intake -------------------------------------------
 

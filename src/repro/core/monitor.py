@@ -70,7 +70,7 @@ class Monitor(Component):
     def _start_processes(self) -> None:
         self.spawn(self._beacon_listener())
         self.spawn(self._report_listener())
-        self.spawn(self._silence_watchdog())
+        self.every(1.0, self._silence_check)
 
     def _beacon_listener(self):
         subscription = self.cluster.multicast.group(BEACON_GROUP).subscribe(
@@ -120,19 +120,17 @@ class Monitor(Component):
             if component in self.last_seen:
                 self.last_seen[component] = self.env.now
 
-    def _silence_watchdog(self):
-        while True:
-            yield self.env.timeout(1.0)
-            for component, seen_at in list(self.last_seen.items()):
-                if component in self._maintenance:
-                    continue
-                silent_for = self.env.now - seen_at
-                if silent_for > self.silence_threshold_s and \
-                        not self._silenced.get(component):
-                    self._silenced[component] = True
-                    self._raise_alert(
-                        "page", component,
-                        f"no reports for {silent_for:.1f}s")
+    def _silence_check(self) -> None:
+        for component, seen_at in list(self.last_seen.items()):
+            if component in self._maintenance:
+                continue
+            silent_for = self.env.now - seen_at
+            if silent_for > self.silence_threshold_s and \
+                    not self._silenced.get(component):
+                self._silenced[component] = True
+                self._raise_alert(
+                    "page", component,
+                    f"no reports for {silent_for:.1f}s")
 
     def _raise_alert(self, severity: str, component: str,
                      message: str) -> None:

@@ -52,12 +52,13 @@ class MirroredManager(Manager):
     def attach_secondary(self, secondary: "SecondaryManager") -> None:
         self.secondary = secondary
 
-    def _beacon_loop(self):
-        # interleave mirroring with the normal beacon cadence
-        mirrored = super()._beacon_loop()
-        while True:
-            yield next(mirrored)   # one beacon period's work + sleep
+    def _publish_beacon(self) -> None:
+        # interleave mirroring with the normal beacon cadence: every
+        # tick after the first, ship the snapshot just before the new
+        # beacon goes out (the order the old wrapped generator produced)
+        if self.beacons_sent > 0:
             self._mirror_to_secondary()
+        super()._publish_beacon()
 
     def _mirror_to_secondary(self) -> None:
         secondary = self.secondary
@@ -103,18 +104,15 @@ class SecondaryManager(Component):
         self.snapshots_received += 1
 
     def _start_processes(self) -> None:
-        self.spawn(self._watch_primary())
+        self.every(self.config.beacon_interval_s, self._watch_check)
 
-    def _watch_primary(self):
+    def _watch_check(self) -> None:
         interval = self.config.beacon_interval_s
-        while True:
-            yield self.env.timeout(interval)
-            if self.last_snapshot_at is None:
-                continue  # primary not up yet
-            silence = self.env.now - self.last_snapshot_at
-            if silence > self.silence_intervals * interval:
-                self._promote()
-                return
+        if self.last_snapshot_at is None:
+            return  # primary not up yet
+        silence = self.env.now - self.last_snapshot_at
+        if silence > self.silence_intervals * interval:
+            self._promote()  # kill()s this component: the timer dies too
 
     def _promote(self) -> None:
         """Take over the primary's duties with the mirrored state."""

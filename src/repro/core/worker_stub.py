@@ -125,7 +125,14 @@ class WorkerStub(Component):
 
     def _start_processes(self) -> None:
         self.spawn(self._service_loop())
-        self.spawn(self._report_loop())
+        self._announce_group = None
+        if self.config.balancing == "distributed":
+            from repro.core.messages import WORKER_ANNOUNCE_GROUP
+            self._announce_group = self.cluster.multicast.group(
+                WORKER_ANNOUNCE_GROUP)
+        # one coalesced tick per report interval for the whole worker
+        # population, not one timeout per stub
+        self.every(self.config.report_interval_s, self._send_report)
         self.spawn(self._beacon_listener())
 
     def _service_loop(self):
@@ -265,43 +272,36 @@ class WorkerStub(Component):
         if self.alive and not envelope.reply.triggered:
             envelope.reply.succeed(result)
 
-    def _report_loop(self):
-        announce_group = None
-        if self.config.balancing == "distributed":
-            from repro.core.messages import WORKER_ANNOUNCE_GROUP
-            announce_group = self.cluster.multicast.group(
-                WORKER_ANNOUNCE_GROUP)
-        while True:
-            yield self.env.timeout(self.config.report_interval_s)
-            report = LoadReport(
+    def _send_report(self) -> None:
+        report = LoadReport(
+            worker_name=self.name,
+            worker_type=self.worker_type,
+            node_name=self.node.name,
+            queue_length=self.load,
+            weighted_load=self._weighted_load(),
+            sent_at=self.env.now,
+            service_ewma_s=self.service_ewma_s,
+        )
+        if self._announce_group is not None and not self.is_partitioned:
+            # distributed mode: shout the load at every front end
+            from repro.core.messages import WorkerAdvert
+            self._announce_group.publish(WorkerAdvert(
                 worker_name=self.name,
                 worker_type=self.worker_type,
                 node_name=self.node.name,
-                queue_length=self.load,
-                weighted_load=self._weighted_load(),
-                sent_at=self.env.now,
+                stub=self,
+                queue_avg=float(self.load),
+                last_report_at=self.env.now,
                 service_ewma_s=self.service_ewma_s,
-            )
-            if announce_group is not None and not self.is_partitioned:
-                # distributed mode: shout the load at every front end
-                from repro.core.messages import WorkerAdvert
-                announce_group.publish(WorkerAdvert(
-                    worker_name=self.name,
-                    worker_type=self.worker_type,
-                    node_name=self.node.name,
-                    stub=self,
-                    queue_avg=float(self.load),
-                    last_report_at=self.env.now,
-                    service_ewma_s=self.service_ewma_s,
-                ), size_bytes=REPORT_BYTES, sender=self.name)
-            endpoint = self._manager_endpoint
-            if endpoint is None:
-                continue
-            try:
-                endpoint.send(report, size_bytes=REPORT_BYTES)
-            except ChannelClosed:
-                self._manager_endpoint = None
-                self._registered_incarnation = None
+            ), size_bytes=REPORT_BYTES, sender=self.name)
+        endpoint = self._manager_endpoint
+        if endpoint is None:
+            return
+        try:
+            endpoint.send(report, size_bytes=REPORT_BYTES)
+        except ChannelClosed:
+            self._manager_endpoint = None
+            self._registered_incarnation = None
 
     def _weighted_load(self) -> float:
         """Seconds of queued work: each item weighted by its expected

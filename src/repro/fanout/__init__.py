@@ -30,16 +30,34 @@ from repro.fanout.shard import (
     shard_seed,
     specs_for_seeds,
 )
+from repro.fanout.timeshard import (
+    DriftReport,
+    ReplaySpec,
+    ShardedReplayResult,
+    WindowResult,
+    drift_check,
+    replay_serial,
+    replay_sharded,
+    window_edges,
+)
 
 __all__ = [
+    "DriftReport",
     "FanoutError",
+    "ReplaySpec",
     "ShardResult",
     "ShardSpec",
+    "ShardedReplayResult",
     "SweepResult",
+    "WindowResult",
     "assemble_rows",
+    "drift_check",
     "merge_latency",
+    "replay_serial",
+    "replay_sharded",
     "run_sharded",
     "shard_seed",
     "specs_for_seeds",
     "sum_counters",
+    "window_edges",
 ]

@@ -87,35 +87,34 @@ class Supervisor(Component):
     # -- processes ----------------------------------------------------------
 
     def _start_processes(self) -> None:
-        self.spawn(self._probe_loop())
-        self.spawn(self._outlier_loop())
+        self.every(self.policy.probe_interval_s, self._probe_tick)
+        self.every(self.policy.outlier_interval_s, self._outlier_tick)
         if self.policy.rejuvenation_interval_s is not None:
-            self.spawn(self._rejuvenation_loop())
+            self.every(self.policy.rejuvenation_interval_s,
+                       self._rejuvenation_tick)
 
     # -- detector 1: end-to-end health probes -------------------------------
 
-    def _probe_loop(self):
-        while True:
-            yield self.env.timeout(self.policy.probe_interval_s)
-            for stub in sorted(self.fabric.workers.values(),
-                               key=lambda stub: stub.name):
-                if not stub.alive or stub.name in self._restarting:
-                    continue
-                self.probes_sent += 1
-                self.spawn(self._probe_one(stub))
-            for brick in sorted(self._bricks().values(),
-                                key=lambda brick: brick.name):
-                if brick.name in self._restarting:
-                    continue
-                if not brick.alive:
-                    # no manager tracks bricks, so a kill -9 has no
-                    # process-peer: the supervisor is the only thing
-                    # that notices the corpse
-                    self._begin_restart(brick, "brick-dead",
-                                        "brick process gone")
-                    continue
-                self.probes_sent += 1
-                self.spawn(self._probe_one(brick))
+    def _probe_tick(self) -> None:
+        for stub in sorted(self.fabric.workers.values(),
+                           key=lambda stub: stub.name):
+            if not stub.alive or stub.name in self._restarting:
+                continue
+            self.probes_sent += 1
+            self.spawn(self._probe_one(stub))
+        for brick in sorted(self._bricks().values(),
+                            key=lambda brick: brick.name):
+            if brick.name in self._restarting:
+                continue
+            if not brick.alive:
+                # no manager tracks bricks, so a kill -9 has no
+                # process-peer: the supervisor is the only thing
+                # that notices the corpse
+                self._begin_restart(brick, "brick-dead",
+                                    "brick process gone")
+                continue
+            self.probes_sent += 1
+            self.spawn(self._probe_one(brick))
 
     def _bricks(self) -> Dict[str, Any]:
         population = getattr(self.fabric, "brick_population", None)
@@ -207,42 +206,40 @@ class Supervisor(Component):
 
     # -- detector 3: peer-relative load outliers -----------------------------
 
-    def _outlier_loop(self):
+    def _outlier_tick(self) -> None:
         policy = self.policy
-        while True:
-            yield self.env.timeout(policy.outlier_interval_s)
-            manager = self.fabric.manager
-            if manager is None or not manager.alive:
-                self._outlier_since.clear()
-                continue
-            by_type: Dict[str, list] = {}
-            for info in manager.workers.values():
-                by_type.setdefault(info.worker_type, []).append(info)
-            now = self.env.now
-            for infos in by_type.values():
-                if len(infos) < policy.outlier_min_peers:
-                    for info in infos:
-                        self._outlier_since.pop(info.name, None)
-                    continue
-                loads = sorted(info.queue_avg for info in infos)
-                median = loads[len(loads) // 2]
-                threshold = max(policy.outlier_floor,
-                                policy.outlier_ratio * median)
+        manager = self.fabric.manager
+        if manager is None or not manager.alive:
+            self._outlier_since.clear()
+            return
+        by_type: Dict[str, list] = {}
+        for info in manager.workers.values():
+            by_type.setdefault(info.worker_type, []).append(info)
+        now = self.env.now
+        for infos in by_type.values():
+            if len(infos) < policy.outlier_min_peers:
                 for info in infos:
-                    if info.queue_avg <= threshold:
-                        self._outlier_since.pop(info.name, None)
-                        continue
-                    since = self._outlier_since.setdefault(info.name, now)
-                    if now - since < policy.outlier_sustain_s:
-                        continue
                     self._outlier_since.pop(info.name, None)
-                    stub = self.fabric.workers.get(info.name)
-                    if stub is not None and stub.alive:
-                        self._begin_restart(
-                            stub, "load-outlier",
-                            f"queue {info.queue_avg:.1f} vs peer "
-                            f"median {median:.1f} for "
-                            f"{policy.outlier_sustain_s:.0f}s")
+                continue
+            loads = sorted(info.queue_avg for info in infos)
+            median = loads[len(loads) // 2]
+            threshold = max(policy.outlier_floor,
+                            policy.outlier_ratio * median)
+            for info in infos:
+                if info.queue_avg <= threshold:
+                    self._outlier_since.pop(info.name, None)
+                    continue
+                since = self._outlier_since.setdefault(info.name, now)
+                if now - since < policy.outlier_sustain_s:
+                    continue
+                self._outlier_since.pop(info.name, None)
+                stub = self.fabric.workers.get(info.name)
+                if stub is not None and stub.alive:
+                    self._begin_restart(
+                        stub, "load-outlier",
+                        f"queue {info.queue_avg:.1f} vs peer "
+                        f"median {median:.1f} for "
+                        f"{policy.outlier_sustain_s:.0f}s")
 
     # -- the restart executor -------------------------------------------------
 
@@ -451,25 +448,23 @@ class Supervisor(Component):
 
     # -- rejuvenation ---------------------------------------------------------
 
-    def _rejuvenation_loop(self):
+    def _rejuvenation_tick(self) -> None:
         """Section 4.5's leak cure: proactively restart the oldest idle
         worker on a timer, before degradation is even detectable."""
         interval = self.policy.rejuvenation_interval_s
-        while True:
-            yield self.env.timeout(interval)
-            candidates = sorted(
-                (stub for stub in self.fabric.workers.values()
-                 if stub.alive and stub.name not in self._restarting
-                 and stub.load == 0
-                 and self.env.now - stub.started_at >= interval),
-                key=lambda stub: (stub.started_at, stub.name))
-            if not candidates:
-                continue
-            stub = candidates[0]
-            self.rejuvenations += 1
-            self.ledger.note_rejuvenation(stub.name)
-            self._restarting.add(stub.name)
-            self.spawn(self._restart(stub, None, None, proactive=True))
+        candidates = sorted(
+            (stub for stub in self.fabric.workers.values()
+             if stub.alive and stub.name not in self._restarting
+             and stub.load == 0
+             and self.env.now - stub.started_at >= interval),
+            key=lambda stub: (stub.started_at, stub.name))
+        if not candidates:
+            return
+        stub = candidates[0]
+        self.rejuvenations += 1
+        self.ledger.note_rejuvenation(stub.name)
+        self._restarting.add(stub.name)
+        self.spawn(self._restart(stub, None, None, proactive=True))
 
     # -- operator surface -----------------------------------------------------
 

@@ -444,6 +444,97 @@ class Queue:
         return items
 
 
+class PeriodicHandle:
+    """One registered periodic callback (see :meth:`Environment.periodic`).
+
+    The handle is how the owner detaches: :meth:`cancel` stops future
+    ticks, :meth:`defer` skips the ticks inside a quiet window (the
+    front-end watchdog sleeps out its restart tolerance this way).
+    """
+
+    __slots__ = ("env", "callback", "_cancelled", "_skip_until")
+
+    def __init__(self, env: "Environment",
+                 callback: Callable[[], None]) -> None:
+        self.env = env
+        self.callback = callback
+        self._cancelled = False
+        self._skip_until = float("-inf")
+
+    @property
+    def active(self) -> bool:
+        return not self._cancelled
+
+    def cancel(self) -> None:
+        """Stop the callback permanently (idempotent)."""
+        self._cancelled = True
+
+    def defer(self, delay: float) -> None:
+        """Skip any tick scheduled at a time ``<= now + delay``.
+
+        The cadence itself is untouched — the shared bucket keeps
+        firing for its other members — so after the window passes the
+        callback resumes on its original phase.
+        """
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        self._skip_until = self.env._now + delay
+
+
+class _PeriodicBucket:
+    """One recurring heap event driving every same-phase periodic callback.
+
+    N maintenance loops with the same period used to cost N timeouts and
+    N generator resumes per interval; a bucket costs one event, firing
+    its members in registration order (which matches the order the old
+    per-loop timeouts were re-armed, so within-tick event order is
+    preserved for default configs).
+    """
+
+    __slots__ = ("env", "period", "handles", "next_fire")
+
+    def __init__(self, env: "Environment", period: float,
+                 first_fire: float) -> None:
+        self.env = env
+        self.period = period
+        self.handles: List[PeriodicHandle] = []
+        self.next_fire = first_fire
+        event = Event(env)
+        event._value = None
+        event.callbacks.append(self._fire)
+        env._seq = seq = env._seq + 1
+        heappush(env._heap, (first_fire, NORMAL, seq, event))
+
+    def _fire(self, _event: Event) -> None:
+        env = self.env
+        now = env._now
+        registry = env._periodic
+        old_key = (self.period, self.next_fire)
+        if registry.get(old_key) is self:
+            del registry[old_key]
+        handles = [h for h in self.handles if not h._cancelled]
+        if not handles:
+            return  # every member cancelled: the bucket dies here
+        self.handles = handles
+        for handle in handles:
+            if handle._cancelled or now <= handle._skip_until:
+                continue
+            handle.callback()
+        # Re-arm *after* the callbacks run, exactly where a sleep-first
+        # process loop re-armed its timeout — anything a callback
+        # schedules at now + period keeps its old seq order relative to
+        # the next tick.
+        self.next_fire = next_fire = now + self.period
+        key = (self.period, next_fire)
+        if key not in registry:
+            registry[key] = self
+        event = Event(env)
+        event._value = None
+        event.callbacks.append(self._fire)
+        env._seq = seq = env._seq + 1
+        heappush(env._heap, (next_fire, NORMAL, seq, event))
+
+
 class Environment:
     """The simulation world: event heap, clock, and process factory."""
 
@@ -452,6 +543,9 @@ class Environment:
         self._heap: List[Any] = []
         self._seq = 0
         self._active_process: Optional[Process] = None
+        #: live coalesced-timer buckets, keyed (period, next_fire_time);
+        #: a registration joins the bucket already firing at its phase.
+        self._periodic: dict = {}
         #: opt-in span tracer (see repro.obs); None means tracing is
         #: off and every instrumentation site is a single attr check.
         self.tracer: Optional[Any] = None
@@ -510,6 +604,57 @@ class Environment:
         self._seq = seq = self._seq + 1
         heappush(self._heap, (self._now + delay, NORMAL, seq, event))
         return event
+
+    def periodic(self, period: float, callback: Callable[[], None], *,
+                 first_delay: Optional[float] = None) -> PeriodicHandle:
+        """Run ``callback()`` every ``period`` seconds on a shared timer.
+
+        All callbacks registered with the same period and phase share
+        ONE recurring heap event (see :class:`_PeriodicBucket`) — the
+        coalesced replacement for a fleet of ``while True: yield
+        timeout(period)`` maintenance loops, each of which costs a heap
+        entry and two generator resumes per node per interval.
+
+        ``first_delay`` defaults to ``period`` (sleep-first loop
+        parity).  Pass ``first_delay=0`` for a body-first loop: the
+        first tick fires once at the current time with URGENT priority
+        — mirroring the ``Initialize`` event that used to start the
+        process — and the handle then joins the steady bucket at
+        ``now + period``, so a body-first loop and a sleep-first loop
+        registered right after it share one bucket in registration
+        order (exactly the within-tick order the per-process timeouts
+        produced).  Callbacks must not yield — spawn a process from
+        inside the callback for anything that needs to block.
+        """
+        if period <= 0:
+            raise ValueError(f"period must be positive, got {period}")
+        if first_delay is None:
+            first_delay = period
+        if first_delay < 0:
+            raise ValueError(f"negative first_delay {first_delay}")
+        handle = PeriodicHandle(self, callback)
+        if first_delay == 0:
+            first_fire = self._now + period
+
+            def _first(_event: Event, _handle: PeriodicHandle = handle):
+                if not _handle._cancelled \
+                        and self._now > _handle._skip_until:
+                    _handle.callback()
+
+            event = Event(self)
+            event._value = None
+            event.callbacks.append(_first)
+            self._seq = seq = self._seq + 1
+            heappush(self._heap, (self._now, URGENT, seq, event))
+        else:
+            first_fire = self._now + first_delay
+        key = (period, first_fire)
+        bucket = self._periodic.get(key)
+        if bucket is None:
+            bucket = _PeriodicBucket(self, period, first_fire)
+            self._periodic[key] = bucket
+        bucket.handles.append(handle)
+        return handle
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""

@@ -87,6 +87,52 @@ class Stream:
         mu = math.log(mean) - sigma * sigma / 2.0
         return self._random.lognormvariate(mu, sigma)
 
+    # Batched draws for vectorized workload generation -------------------
+
+    def random_batch(self, n: int) -> List[float]:
+        """``n`` uniform [0, 1) draws — same stream positions as ``n``
+        calls to :meth:`random`, without per-draw method dispatch."""
+        draw = self._random.random
+        return [draw() for _ in range(n)]
+
+    def exponential_batch(self, mean: float, n: int) -> List[float]:
+        """``n`` exponential variates with the given mean.
+
+        Draw-for-draw identical to ``n`` calls to :meth:`exponential`
+        (same underlying ``expovariate`` sequence), so switching a
+        caller to the batch form never perturbs a seeded trace.
+        """
+        if mean <= 0:
+            raise ValueError("mean must be positive")
+        draw = self._random.expovariate
+        rate = 1.0 / mean
+        return [draw(rate) for _ in range(n)]
+
+    def zipf_rank_batch(self, n: int, alpha: float,
+                        count: int) -> List[int]:
+        """``count`` draws of :meth:`zipf_rank` with the inverse-CDF
+        constants hoisted out of the loop.
+
+        Draw-for-draw identical to ``count`` sequential calls to
+        :meth:`zipf_rank` (one uniform per rank, same inversion).
+        """
+        if n <= 0:
+            raise ValueError("n must be positive")
+        draw = self._random.random
+        top = n - 1
+        if alpha == 1.0:
+            h_n = math.log(n) + 0.5772156649
+            exp = math.exp
+            ranks = [int(exp(draw() * h_n)) - 1 for _ in range(count)]
+        else:
+            one_minus = 1.0 - alpha
+            c = (n ** one_minus - 1.0) / one_minus
+            inv = 1.0 / one_minus
+            ranks = [int((draw() * c * one_minus + 1.0) ** inv) - 1
+                     for _ in range(count)]
+        return [0 if rank < 0 else (top if rank > top else rank)
+                for rank in ranks]
+
     def pareto(self, alpha: float, minimum: float) -> float:
         """Bounded-below Pareto variate (heavy tail for miss penalties)."""
         if alpha <= 0 or minimum <= 0:

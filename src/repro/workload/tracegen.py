@@ -12,6 +12,20 @@ Two generators:
   "a trace file that repeatedly requested a fixed number of JPEG
   images, all approximately 10 KB in size", which keeps the cache hot
   and isolates distiller and front-end capacity.
+
+Generation is **bucket-deterministic**: every one-second bucket of the
+non-homogeneous arrival process draws from its own RNG stream, derived
+from the seed and the absolute bucket index alone.  Two consequences:
+
+* the per-request hot path is vectorized — each bucket batch-samples
+  its arrival count, offsets, clients, and documents instead of paying
+  per-request method dispatch (this is what lets a 10M-request replay
+  generate its trace at millions of records per minute);
+* any time window ``[a, b)`` of the trace can be regenerated exactly,
+  with no RNG hand-off state: generating ``[0, T)`` in one call equals
+  concatenating ``[0, t)`` and ``[t, T)`` for *any* split point, which
+  is the property the time-sharded replay mode of
+  :mod:`repro.fanout.timeshard` is built on.
 """
 
 from __future__ import annotations
@@ -20,7 +34,7 @@ import math
 from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
-from repro.sim.rng import RandomStreams, Stream
+from repro.sim.rng import RandomStreams, Stream, derive_seed
 from repro.tacc.content import MIME_JPEG
 from repro.workload.distributions import (
     MimeMix,
@@ -31,6 +45,31 @@ from repro.workload.distributions import (
 from repro.workload.trace import TraceRecord
 
 DAY_S = 86400.0
+
+#: Above this arrival rate per bucket, Poisson sampling switches from
+#: Knuth's product-of-uniforms method (O(lambda) draws, and degenerate
+#: once ``exp(-lambda)`` underflows around lambda ≈ 745) to a rounded
+#: normal approximation (one Gaussian draw; relative error < 1% at this
+#: threshold and shrinking as lambda grows).
+POISSON_NORMAL_THRESHOLD = 64.0
+
+
+def poisson_variate(rng: Stream, lam: float) -> int:
+    """One Poisson draw from ``rng``: Knuth's method for small rates, a
+    rounded normal approximation above :data:`POISSON_NORMAL_THRESHOLD`
+    (where Knuth degrades and then breaks outright)."""
+    if lam <= 0:
+        return 0
+    if lam > POISSON_NORMAL_THRESHOLD:
+        count = int(rng.gauss(lam, math.sqrt(lam)) + 0.5)
+        return count if count > 0 else 0
+    threshold = math.exp(-lam)
+    count = 0
+    product = rng.random()
+    while product > threshold:
+        count += 1
+        product *= rng.random()
+    return count
 
 
 @dataclass(frozen=True)
@@ -45,8 +84,10 @@ class DocumentUniverse:
 
     Shared documents carry Zipf popularity (rank 0 most popular).
     Private documents model each user's personal browsing tail; they are
-    derived deterministically from the user id, so the same universe and
-    seed always produce the same trace.
+    derived deterministically from the (user id, index) pair alone —
+    never from the order in which users happen to appear in the trace —
+    so any time shard of a trace sees the same private documents the
+    full trace would.
     """
 
     def __init__(
@@ -79,29 +120,92 @@ class DocumentUniverse:
                 mime=mime,
                 size_bytes=size,
             ))
+        # one draw fixes the private-universe seed; each (client, index)
+        # document then derives from it positionally, not sequentially
+        self._private_seed = rng.randint(0, 2 ** 62)
         self._private_cache: Dict[Tuple[str, int], Document] = {}
 
     def _private_doc(self, client_id: str, index: int) -> Document:
         key = (client_id, index)
-        if key not in self._private_cache:
-            mime = self._mime_mix.sample(self.rng)
-            size = self._size_models[mime].sample(self.rng)
+        document = self._private_cache.get(key)
+        if document is None:
+            rng = Stream(derive_seed(self._private_seed,
+                                     f"{client_id}:{index}"))
+            mime = self._mime_mix.sample(rng)
+            size = self._size_models[mime].sample(rng)
             extension = _extension_for(mime)
-            self._private_cache[key] = Document(
+            document = Document(
                 url=f"http://{client_id}.example/p{index}{extension}",
                 mime=mime,
                 size_bytes=size,
             )
-        return self._private_cache[key]
+            self._private_cache[key] = document
+        return document
 
-    def sample_document(self, client_id: str) -> Document:
-        """One document reference for ``client_id``."""
-        if self.rng.random() < self.shared_fraction:
-            rank = self.rng.zipf_rank(len(self.shared_docs),
-                                      self.zipf_alpha)
+    def sample_document(self, client_id: str,
+                        rng: Optional[Stream] = None) -> Document:
+        """One document reference for ``client_id``, drawn from ``rng``
+        (default: the universe's own stream)."""
+        if rng is None:
+            rng = self.rng
+        if rng.random() < self.shared_fraction:
+            rank = rng.zipf_rank(len(self.shared_docs), self.zipf_alpha)
             return self.shared_docs[rank]
-        index = self.rng.zipf_rank(self.n_private_per_user, 1.0)
+        index = rng.zipf_rank(self.n_private_per_user, 1.0)
         return self._private_doc(client_id, index)
+
+    def sample_batch(self, client_ids: Sequence[str],
+                     rng: Stream) -> List[Document]:
+        """One document per client id, batch-drawn from ``rng``.
+
+        Semantically one shared/private coin plus one Zipf rank per
+        document, like :meth:`sample_document`, but with the uniforms
+        drawn in batches and the inverse-CDF constants hoisted out of
+        the loop — the trace generator's per-bucket hot path.
+        """
+        count = len(client_ids)
+        choices = rng.random_batch(count)
+        uniforms = rng.random_batch(count)
+        shared_fraction = self.shared_fraction
+        shared_docs = self.shared_docs
+        n_shared = len(shared_docs)
+        alpha = self.zipf_alpha
+        # shared-rank inversion constants (see Stream.zipf_rank)
+        if alpha == 1.0:
+            shared_h = math.log(n_shared) + 0.5772156649
+            shared_c = shared_inv = one_minus = 0.0
+        else:
+            one_minus = 1.0 - alpha
+            shared_c = (n_shared ** one_minus - 1.0) / one_minus
+            shared_inv = 1.0 / one_minus
+            shared_h = 0.0
+        private_h = math.log(self.n_private_per_user) + 0.5772156649
+        private_top = self.n_private_per_user - 1
+        shared_top = n_shared - 1
+        private_doc = self._private_doc
+        exp = math.exp
+        documents = []
+        append = documents.append
+        for client_id, choice, u in zip(client_ids, choices, uniforms):
+            if choice < shared_fraction:
+                if alpha == 1.0:
+                    rank = int(exp(u * shared_h)) - 1
+                else:
+                    rank = int((u * shared_c * one_minus + 1.0)
+                               ** shared_inv) - 1
+                if rank < 0:
+                    rank = 0
+                elif rank > shared_top:
+                    rank = shared_top
+                append(shared_docs[rank])
+            else:
+                index = int(exp(u * private_h)) - 1
+                if index < 0:
+                    index = 0
+                elif index > private_top:
+                    index = private_top
+                append(private_doc(client_id, index))
+        return documents
 
 
 def _extension_for(mime: str) -> str:
@@ -120,6 +224,11 @@ class BurstCascade:
     level's period keeps correlated fluctuations alive at that scale.
     The product exhibits bursts at *all* chosen scales — a simple and
     controllable stand-in for the self-similar traffic of [18, 27, 35].
+
+    Each (level, epoch) multiplier is a pure function of the cascade's
+    seed — derived by hash, not drawn sequentially — so ``factor(t)``
+    may be evaluated at arbitrary times in arbitrary order and always
+    answers the same, which makes rate evaluation time-shardable.
     """
 
     def __init__(self, rng: Stream,
@@ -128,19 +237,26 @@ class BurstCascade:
         self.rng = rng
         self.periods = list(periods_s)
         self.sigma = sigma
+        # one draw fixes the cascade; every multiplier derives from it
+        self._seed = rng.randint(0, 2 ** 62)
         self._epochs = [-1] * len(self.periods)
         self._factors = [1.0] * len(self.periods)
 
+    def _multiplier(self, level: int, epoch: int) -> float:
+        rng = Stream(derive_seed(self._seed, f"{level}:{epoch}"))
+        # unit-mean log-normal: mu = -sigma^2/2
+        return rng.lognormal(-self.sigma * self.sigma / 2.0, self.sigma)
+
     def factor(self, t: float) -> float:
         product = 1.0
+        epochs = self._epochs
+        factors = self._factors
         for level, period in enumerate(self.periods):
             epoch = int(t / period)
-            if epoch != self._epochs[level]:
-                self._epochs[level] = epoch
-                # unit-mean log-normal: mu = -sigma^2/2
-                self._factors[level] = self.rng.lognormal(
-                    -self.sigma * self.sigma / 2.0, self.sigma)
-            product *= self._factors[level]
+            if epoch != epochs[level]:
+                epochs[level] = epoch
+                factors[level] = self._multiplier(level, epoch)
+            product *= factors[level]
         return product
 
 
@@ -158,7 +274,16 @@ def daily_cycle_factor(t: float, trough_hour: float = 7.5,
 
 
 class TraceGenerator:
-    """Generates a timestamped, sorted synthetic request trace."""
+    """Generates a timestamped, sorted synthetic request trace.
+
+    The arrival process is sampled one absolute one-second bucket at a
+    time; bucket ``k`` (covering ``[k, k+1)``) draws everything —
+    arrival count, timestamp offsets, clients, documents — from a
+    stream derived from ``(seed, k)``.  Window requests that cover only
+    part of a bucket regenerate the whole bucket and emit the records
+    that fall inside the window, so any split of ``[0, T)`` into
+    subwindows concatenates to exactly the single-call trace.
+    """
 
     def __init__(
         self,
@@ -171,6 +296,7 @@ class TraceGenerator:
         burst_sigma: float = 0.15,
     ) -> None:
         streams = RandomStreams(seed)
+        self.seed = seed
         self.rng = streams.stream("tracegen")
         self.n_users = n_users
         self.mean_rate_rps = mean_rate_rps
@@ -180,6 +306,9 @@ class TraceGenerator:
         self.cascade = BurstCascade(
             streams.stream("bursts"), sigma=burst_sigma) \
             if with_bursts else None
+        self._bucket_seed = derive_seed(seed, "tracegen:bucket")
+        self._client_names: List[str] = []
+        self._client_zipf_alpha = 0.8
 
     def rate_at(self, t: float) -> float:
         rate = self.mean_rate_rps
@@ -189,58 +318,78 @@ class TraceGenerator:
             rate *= self.cascade.factor(t)
         return rate
 
-    def _poisson(self, lam: float) -> int:
-        """Knuth's method; adequate for per-second rates under ~50."""
-        if lam <= 0:
-            return 0
-        threshold = math.exp(-lam)
-        count = 0
-        product = self.rng.random()
-        while product > threshold:
-            count += 1
-            product *= self.rng.random()
-        return count
-
     def _pick_client(self) -> str:
-        rank = self.rng.zipf_rank(self.n_users, 0.8)
+        rank = self.rng.zipf_rank(self.n_users, self._client_zipf_alpha)
         return f"client{rank}"
+
+    def _client_name(self, rank: int) -> str:
+        names = self._client_names
+        if not names:
+            names = self._client_names = [
+                f"client{index}" for index in range(self.n_users)]
+        return names[rank]
+
+    def _bucket_records(self, bucket: int) -> List[TraceRecord]:
+        """All records of absolute bucket ``[bucket, bucket + 1)``,
+        sorted by timestamp — a pure function of (seed, bucket)."""
+        rng = Stream(derive_seed(self._bucket_seed, str(bucket)))
+        t = float(bucket)
+        count = poisson_variate(rng, self.rate_at(t))
+        if not count:
+            return []
+        offsets = rng.random_batch(count)
+        client_ranks = rng.zipf_rank_batch(
+            self.n_users, self._client_zipf_alpha, count)
+        names = self._client_names
+        if not names:
+            names = self._client_names = [
+                f"client{index}" for index in range(self.n_users)]
+        clients = [names[rank] for rank in client_ranks]
+        documents = self.universe.sample_batch(clients, rng)
+        make = TraceRecord
+        records = [
+            make(t + offset, client_id, document.url, document.mime,
+                 document.size_bytes)
+            for offset, client_id, document in zip(
+                offsets, clients, documents)
+        ]
+        # TraceRecord is a tuple with the timestamp first, so a plain
+        # sort orders by time (ties, vanishingly rare with float
+        # offsets, break deterministically by the remaining fields)
+        records.sort()
+        return records
 
     def iter_generate(self, duration_s: float,
                       start_s: float = 0.0) -> Iterator[TraceRecord]:
         """Stream the trace for [start_s, start_s + duration_s).
 
-        Records are produced one one-second slice at a time — the
-        non-homogeneous process's natural chunk — and each slice is
-        sorted before it is yielded.  Slices cover disjoint half-open
-        intervals, so the concatenation is globally timestamp-sorted and
-        identical (same RNG draws, same order) to :meth:`generate`,
-        while only one slice is ever materialized.  This is what lets a
-        multi-hour, multi-million-request workload feed the playback
-        engine with bounded memory.
+        Records are produced one one-second bucket at a time — the
+        non-homogeneous process's natural chunk.  Buckets are aligned
+        to the absolute integer-second grid and each draws from its own
+        derived stream, so the records emitted for any window are
+        exactly the single-call trace restricted to that window:
+        concatenating ``[0, t)`` and ``[t, T)`` — across calls, or even
+        across freshly constructed generators with the same seed —
+        reproduces ``[0, T)`` record-for-record.  Only one bucket is
+        ever materialized, which is what lets a multi-hour,
+        multi-million-request workload feed the playback engine with
+        bounded memory.
         """
-        step = 1.0  # one-second slices for the non-homogeneous process
-        t = start_s
+        if duration_s <= 0:
+            return
         end = start_s + duration_s
-        while t < end:
-            slice_end = min(t + step, end)
-            width = slice_end - t
-            count = self._poisson(self.rate_at(t) * width)
-            if count:
-                chunk: List[TraceRecord] = []
-                for _ in range(count):
-                    timestamp = t + self.rng.random() * width
-                    client_id = self._pick_client()
-                    document = self.universe.sample_document(client_id)
-                    chunk.append(TraceRecord(
-                        timestamp=timestamp,
-                        client_id=client_id,
-                        url=document.url,
-                        mime=document.mime,
-                        size_bytes=document.size_bytes,
-                    ))
-                chunk.sort(key=lambda record: record.timestamp)
-                yield from chunk
-            t = slice_end
+        bucket = math.floor(start_s)
+        bucket_records = self._bucket_records
+        while bucket < end:
+            records = bucket_records(bucket)
+            if records:
+                if start_s <= bucket and end >= bucket + 1:
+                    yield from records
+                else:
+                    for record in records:
+                        if start_s <= record.timestamp < end:
+                            yield record
+            bucket += 1
 
     def generate(self, duration_s: float,
                  start_s: float = 0.0) -> List[TraceRecord]:
@@ -261,7 +410,10 @@ def iter_fixed_jpeg_trace(
 
     The count-bounded streaming twin of :func:`fixed_jpeg_trace`: a
     20-million-request replay in the paper's style needs no more memory
-    than a single :class:`TraceRecord`.  Deterministic in ``seed``.
+    than a single :class:`TraceRecord`.  Deterministic in ``seed``, and
+    draw-for-draw identical to the pre-vectorized implementation: the
+    URL/client strings are precomputed and the inter-arrival gaps are
+    batch-sampled, but the underlying RNG sequence is unchanged.
     """
     if rate_rps <= 0:
         raise ValueError("rate must be positive")
@@ -269,16 +421,26 @@ def iter_fixed_jpeg_trace(
         raise ValueError("n_requests must be non-negative")
     rng = RandomStreams(seed).stream("fixed-jpeg")
     mean_gap = 1.0 / rate_rps
+    urls = [f"http://bench.example/img{index}.jpg"
+            for index in range(n_images)]
+    clients = [f"client{index}" for index in range(n_clients)]
+    make = TraceRecord
+    batch = rng.exponential_batch
+    chunk_size = 8192
     t = 0.0
-    for index in range(n_requests):
-        t += rng.exponential(mean_gap)
-        yield TraceRecord(
-            timestamp=t,
-            client_id=f"client{index % n_clients}",
-            url=f"http://bench.example/img{index % n_images}.jpg",
-            mime=MIME_JPEG,
-            size_bytes=image_size_bytes,
-        )
+    index = 0
+    while index < n_requests:
+        gaps = batch(mean_gap, min(chunk_size, n_requests - index))
+        for gap in gaps:
+            t += gap
+            yield make(
+                t,
+                clients[index % n_clients],
+                urls[index % n_images],
+                MIME_JPEG,
+                image_size_bytes,
+            )
+            index += 1
 
 
 def fixed_jpeg_trace(
@@ -293,6 +455,9 @@ def fixed_jpeg_trace(
     over a fixed set of ~10 KB JPEGs (all cache-resident, so the cache
     miss penalty never clouds the scaling measurement)."""
     rng = RandomStreams(seed).stream("fixed-jpeg")
+    urls = [f"http://bench.example/img{index}.jpg"
+            for index in range(n_images)]
+    clients = [f"client{index}" for index in range(n_clients)]
     records = []
     t = 0.0
     index = 0
@@ -302,8 +467,8 @@ def fixed_jpeg_trace(
             break
         records.append(TraceRecord(
             timestamp=t,
-            client_id=f"client{index % n_clients}",
-            url=f"http://bench.example/img{index % n_images}.jpg",
+            client_id=clients[index % n_clients],
+            url=urls[index % n_images],
             mime=MIME_JPEG,
             size_bytes=image_size_bytes,
         ))

@@ -145,13 +145,17 @@ def test_hung_worker_expired_by_timeout(fabric):
     fabric.cluster.run(until=2.0)
     victim = fabric.alive_workers()[0]
 
-    # simulate a hang: stop the report loop without closing anything
+    # simulate a hang: stop the service loop and the report timer
+    # without closing anything
     def hang(env):
         yield env.timeout(5.0)
         for process in list(victim._procs):
             if process.is_alive:
                 process.interrupt("hang")
         victim._procs.clear()
+        for timer in victim._timers:
+            timer.cancel()
+        victim._timers.clear()
 
     fabric.cluster.env.process(hang(fabric.cluster.env))
     fabric.cluster.run(until=20.0)

@@ -258,3 +258,29 @@ def test_help_disambiguates_workload_traces_from_spans():
     text = parser.format_help()
     assert "workload trace" in text
     assert "spans" in text
+
+
+def test_replay_serial_summary(capsys):
+    assert main(["replay", "--duration", "10", "--rate", "200"]) == 0
+    out = capsys.readouterr().out
+    assert "requests over 10s trace" in out
+    assert "1 window(s)" in out
+    assert "mean latency" in out
+
+
+def test_replay_sharded_with_drift_check(capsys):
+    assert main(["replay", "--duration", "12", "--rate", "200",
+                 "--jobs", "2", "--check"]) == 0
+    out = capsys.readouterr().out
+    assert "2 window(s)" in out
+    assert "drift contract ok" in out
+    assert "submitted" in out
+
+
+def test_replay_windows_override(capsys):
+    assert main(["replay", "--duration", "12", "--rate", "100",
+                 "--windows", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "3 window(s)" in out
+    # per-window lines appear when the replay is actually sharded
+    assert "[0, 4)" in out

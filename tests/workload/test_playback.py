@@ -141,3 +141,109 @@ def test_throughput_window():
     assert engine.throughput(100.0) == pytest.approx(4 / 100.0)
     with pytest.raises(ValueError):
         engine.throughput(0.0)
+
+
+def test_play_scheduled_matches_play_aligned():
+    """The callback-driven pump submits the same records at the same
+    simulated times as the process-based absolute-clock player."""
+    trace = records_at([10.0, 10.4, 12.0, 15.5])
+    received = {}
+    for mode in ("aligned", "scheduled"):
+        env = Environment()
+        service = MockService(env, service_time=0.1)
+        engine = PlaybackEngine(env, service.submit)
+        if mode == "aligned":
+            env.process(engine.play_aligned(trace, clock_origin=10.0))
+        else:
+            engine.play_scheduled(trace, clock_origin=10.0)
+        env.run()
+        received[mode] = [(t, record.url)
+                          for t, record in service.received]
+        assert engine.stats.completed == 4
+    assert received["scheduled"] == received["aligned"]
+    assert [t for t, _ in received["scheduled"]] \
+        == pytest.approx([0.0, 0.4, 2.0, 5.5])
+
+
+def test_play_scheduled_past_due_records_submit_immediately():
+    env = Environment()
+    service = MockService(env, service_time=0.0)
+    engine = PlaybackEngine(env, service.submit)
+    # both records are already due at t=0 on this clock
+    engine.play_scheduled(records_at([3.0, 4.0]), clock_origin=5.0)
+    env.run()
+    assert [t for t, _ in service.received] == [0.0, 0.0]
+    assert engine.stats.submitted == 2
+
+
+def test_throughput_modes_agree():
+    """Bounded-memory mode must answer the same windowed-throughput
+    query as the outcome-scanning mode, for every window that the
+    completion ring covers."""
+    times = [0.0, 1.0, 2.0, 3.0, 10.0, 11.0]
+    results = {}
+    for record_outcomes in (True, False):
+        env = Environment()
+        service = MockService(env, service_time=0.0)
+        engine = PlaybackEngine(env, service.submit,
+                                record_outcomes=record_outcomes)
+        env.process(engine.play(records_at(times)))
+        env.run(until=12.0)
+        results[record_outcomes] = [engine.throughput(w)
+                                    for w in (1.5, 5.0, 12.0)]
+    assert results[True] == pytest.approx(results[False])
+    # the trailing 1.5 s window sees only the completion at t=11
+    assert results[False][0] == pytest.approx(1 / 1.5)
+
+
+def test_throughput_ring_wrap_raises_instead_of_undercounting():
+    env = Environment()
+    service = MockService(env, service_time=0.0)
+    engine = PlaybackEngine(env, service.submit,
+                            record_outcomes=False, throughput_ring=2)
+    env.process(engine.play(records_at([0.0, 1.0, 2.0, 3.0])))
+    env.run(until=4.0)
+    # ring holds completions at t=2 and t=3 only; a 1.5 s window
+    # (horizon 2.5) is fully covered...
+    assert engine.throughput(1.5) == pytest.approx(1 / 1.5)
+    # ...but a 3 s window (horizon 1.0) reaches past the evicted
+    # completions at t=0 and t=1 and must refuse rather than lie
+    with pytest.raises(ValueError, match="larger"):
+        engine.throughput(3.0)
+
+
+def test_throughput_zero_ring_raises_in_bounded_mode():
+    env = Environment()
+    service = MockService(env, service_time=0.0)
+    engine = PlaybackEngine(env, service.submit,
+                            record_outcomes=False, throughput_ring=0)
+    env.process(engine.play(records_at([0.0])))
+    env.run(until=1.0)
+    with pytest.raises(ValueError, match="throughput_ring=0"):
+        engine.throughput(1.0)
+
+
+def test_bounded_mode_stats_match_recorded_mode():
+    times = [0.0, 0.5, 1.0]
+    stats = {}
+    for record_outcomes in (True, False):
+        env = Environment()
+        service = MockService(env, service_time=0.1,
+                              fail_urls={"http://x/1.gif"})
+        engine = PlaybackEngine(env, service.submit,
+                                record_outcomes=record_outcomes)
+        env.process(engine.play(records_at(times)))
+        env.run()
+        stats[record_outcomes] = engine.stats
+    for mode in (True, False):
+        assert stats[mode].submitted == 3
+        assert stats[mode].completed == 2
+        assert stats[mode].failed == 1
+        assert stats[mode].mean_latency == pytest.approx(0.1)
+    # only the recorded mode keeps per-request outcomes
+    env = Environment()
+    engine = PlaybackEngine(env, MockService(env).submit,
+                            record_outcomes=False)
+    env.process(engine.play(records_at([0.0])))
+    env.run()
+    assert engine.outcomes == []

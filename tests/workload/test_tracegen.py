@@ -56,6 +56,57 @@ def test_generator_deterministic_given_seed():
     assert first != third
 
 
+def _gen(seed=5, rate=8.0):
+    return TraceGenerator(seed=seed, mean_rate_rps=rate)
+
+
+def test_slice_concatenation_reproduces_single_call():
+    """The time-shard handoff contract: [0, T) equals [0, t) + [t, T)
+    record-for-record, at every split point — including mid-bucket."""
+    whole = _gen().generate(30.0)
+    for split in (10.0, 15.5, 0.25, 29.75, 7.0):
+        left = _gen().generate(split)
+        right = _gen().generate(30.0 - split, start_s=split)
+        assert left + right == whole, f"split at {split}"
+
+
+def test_slice_many_odd_widths_tile_the_trace():
+    whole = _gen(seed=11).generate(20.0)
+    edges = [0.0, 1.7, 3.1, 3.2, 8.999, 13.0, 17.42, 20.0]
+    tiled = []
+    for start, end in zip(edges, edges[1:]):
+        tiled.extend(_gen(seed=11).generate(end - start, start_s=start))
+    assert tiled == whole
+
+
+def test_slice_from_fresh_generator_instances():
+    """Windows must be regenerable with zero carried state: a brand-new
+    generator asked for [t, T) yields what the original produced there.
+    This is what lets each replay shard rebuild its window from the
+    spec alone, with no RNG-position handoff."""
+    original = _gen(seed=7).generate(25.0)
+    generator = _gen(seed=7)  # one instance, reused across windows
+    reused = (generator.generate(10.0)
+              + generator.generate(15.0, start_s=10.0))
+    fresh = (_gen(seed=7).generate(10.0)
+             + _gen(seed=7).generate(15.0, start_s=10.0))
+    assert reused == original
+    assert fresh == original
+
+
+def test_slice_with_nonzero_origin_offsets():
+    whole = _gen(seed=3).generate(12.0, start_s=100.0)
+    parts = (_gen(seed=3).generate(5.5, start_s=100.0)
+             + _gen(seed=3).generate(6.5, start_s=105.5))
+    assert parts == whole
+
+
+def test_iter_generate_streams_same_records_as_generate():
+    generator = _gen(seed=13)
+    assert list(generator.iter_generate(15.0, start_s=4.0)) \
+        == generator.generate(15.0, start_s=4.0)
+
+
 def test_generator_mean_rate_roughly_requested():
     records = TraceGenerator(
         seed=9, mean_rate_rps=5.8, with_daily_cycle=False,
